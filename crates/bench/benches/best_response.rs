@@ -1,0 +1,160 @@
+//! Criterion bench: best-response computation cost.
+//!
+//! Validates §5's scaling claims: exact BR explodes combinatorially,
+//! local search is polynomial but grows with n, and sampled BR (the §5
+//! mechanism) keeps the per-re-wiring cost nearly flat as the overlay
+//! grows. Also benches the HybridBR forced-members variant (ablation for
+//! the §3.3 design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egoist_core::cost::{disconnection_penalty, Preferences};
+use egoist_core::policies::best_response::{BestResponse, BrInstance};
+use egoist_core::policies::{PolicyKind, WiringContext};
+use egoist_core::sampling::random_sample;
+use egoist_core::wiring::Wiring;
+use egoist_graph::apsp::apsp;
+use egoist_graph::{DistanceMatrix, NodeId};
+use egoist_netsim::delay::{DelayConfig, DelayModel};
+use egoist_netsim::rng::derive;
+use egoist_netsim::{PlanetLabSpec, Region};
+use std::hint::black_box;
+
+struct Fixture {
+    residual: DistanceMatrix,
+    candidates: Vec<NodeId>,
+    direct: Vec<f64>,
+    prefs: Preferences,
+    alive: Vec<bool>,
+    penalty: f64,
+}
+
+fn fixture(n: usize, k: usize) -> Fixture {
+    let d = DelayModel::from_spec(
+        &PlanetLabSpec::uniform(Region::NorthAmerica, n),
+        &DelayConfig::default(),
+        1,
+    )
+    .base()
+    .clone();
+    // A circulant wiring as the residual overlay.
+    let mut w = Wiring::empty(n);
+    for i in 0..n {
+        let mut neigh = Vec::new();
+        for o in 1..=k {
+            neigh.push(NodeId::from_index((i + o) % n));
+        }
+        w.rewire(NodeId::from_index(i), neigh);
+    }
+    let alive = vec![true; n];
+    let residual = apsp(&w.residual_graph(NodeId(0), &d, &alive));
+    Fixture {
+        candidates: (1..n).map(NodeId::from_index).collect(),
+        direct: d.row(0).to_vec(),
+        prefs: Preferences::uniform(n),
+        penalty: disconnection_penalty(&d),
+        residual,
+        alive,
+    }
+}
+
+impl Fixture {
+    fn ctx<'a>(&'a self, k: usize, candidates: &'a [NodeId]) -> WiringContext<'a> {
+        WiringContext {
+            node: NodeId(0),
+            k,
+            candidates,
+            direct: &self.direct,
+            residual: &self.residual,
+            prefs: &self.prefs,
+            alive: &self.alive,
+            penalty: self.penalty,
+            current: &[],
+        }
+    }
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let k = 3;
+    let mut group = c.benchmark_group("best_response");
+    group.sample_size(20);
+    for n in [20usize, 50, 100, 295] {
+        let f = fixture(n, k);
+        group.bench_with_input(BenchmarkId::new("local_search", n), &n, |b, _| {
+            let solver = BestResponse::local_search();
+            b.iter(|| {
+                let ctx = f.ctx(k, &f.candidates);
+                black_box(solver.solve(&ctx))
+            })
+        });
+        // Sampled BR: m = 16 candidates regardless of n (§5).
+        group.bench_with_input(BenchmarkId::new("sampled_m16", n), &n, |b, _| {
+            let solver = BestResponse::local_search();
+            let mut rng = derive(2, "bench-sample");
+            let sample = random_sample(&f.candidates, 16, &mut rng);
+            b.iter(|| {
+                let ctx = f.ctx(k, &sample);
+                black_box(solver.solve(&ctx))
+            })
+        });
+    }
+    // Exact BR only at small n (combinatorial).
+    for n in [12usize, 16, 20] {
+        let f = fixture(n, k);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let solver = BestResponse::exact();
+            b.iter(|| {
+                let ctx = f.ctx(k, &f.candidates);
+                black_box(solver.solve(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_ablation(c: &mut Criterion) {
+    // Ablation: cost of forcing k2 donated links into the local search.
+    let mut group = c.benchmark_group("hybrid_forced_members");
+    group.sample_size(20);
+    let f = fixture(50, 5);
+    for k2 in [0usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k2), &k2, |b, &k2| {
+            let ctx = f.ctx(5, &f.candidates);
+            let inst = BrInstance::build(&ctx);
+            let forced: Vec<usize> = (0..k2).collect();
+            b.iter(|| {
+                let init = inst.greedy(5, &forced);
+                black_box(inst.local_search(5, init, &forced, 64))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    // One full round-robin sweep of the 50-node game, per policy.
+    let mut group = c.benchmark_group("game_sweep_n50");
+    group.sample_size(10);
+    let d = DelayModel::planetlab_50(3).base().clone();
+    for (label, kind) in [
+        ("best_response", PolicyKind::BestResponse),
+        ("epsilon_br", PolicyKind::EpsilonBestResponse { epsilon: 0.1 }),
+        ("k_closest", PolicyKind::Closest),
+        ("k_random", PolicyKind::Random),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut game = egoist_core::game::Game::new(d.clone(), 3, kind, 7);
+                black_box(game.sweep())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_best_response,
+    bench_hybrid_ablation,
+    bench_full_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench: wire-codec throughput (LSA encode/decode, ping
+//! frames) and LSDB apply/graph-snapshot costs — the per-message work
+//! every EGOIST node does on its hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use egoist_graph::NodeId;
+use egoist_proto::codec::{decode, encode};
+use egoist_proto::lsdb::Lsdb;
+use egoist_proto::message::{LinkEntry, LinkStateAnnouncement, Message};
+use std::hint::black_box;
+
+fn lsa(origin: u32, seq: u64, k: usize) -> LinkStateAnnouncement {
+    LinkStateAnnouncement {
+        origin: NodeId(origin),
+        seq,
+        links: (0..k)
+            .map(|i| LinkEntry {
+                neighbor: NodeId((origin + 1 + i as u32) % 300),
+                cost: 10.0 + i as f32,
+            })
+            .collect(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for k in [2usize, 8, 32] {
+        let msg = Message::LinkState(lsa(1, 42, k));
+        let frame = encode(&msg);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode_lsa", k), &k, |b, _| {
+            b.iter(|| black_box(encode(&msg)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_lsa", k), &k, |b, _| {
+            b.iter(|| black_box(decode(&frame).unwrap()))
+        });
+    }
+    let ping = Message::Ping { from: NodeId(3), nonce: 0xABCD };
+    let ping_frame = encode(&ping);
+    group.bench_function("encode_ping", |b| b.iter(|| black_box(encode(&ping))));
+    group.bench_function("decode_ping", |b| {
+        b.iter(|| black_box(decode(&ping_frame).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_lsdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsdb");
+    for n in [50usize, 295] {
+        group.bench_with_input(BenchmarkId::new("apply_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut db = Lsdb::new(70.0);
+                for i in 0..n {
+                    db.apply(lsa(i as u32, 1, 5), 0.0);
+                }
+                black_box(db.len())
+            })
+        });
+        let mut db = Lsdb::new(70.0);
+        for i in 0..n {
+            db.apply(lsa(i as u32, 1, 5), 0.0);
+        }
+        group.bench_with_input(BenchmarkId::new("graph_snapshot", n), &n, |b, &n| {
+            b.iter(|| black_box(db.graph(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_lsdb);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench: graph substrate scaling (Dijkstra, APSP, widest
+//! paths, max-flow, disjoint paths) on EGOIST-shaped overlays
+//! (n nodes, out-degree k = 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egoist_graph::apsp::{apsp, floyd_warshall};
+use egoist_graph::dijkstra::dijkstra;
+use egoist_graph::disjoint::edge_disjoint_paths;
+use egoist_graph::maxflow::max_flow;
+use egoist_graph::widest::widest_paths;
+use egoist_graph::{DiGraph, NodeId};
+use egoist_netsim::delay::{DelayConfig, DelayModel};
+use egoist_netsim::{PlanetLabSpec, Region};
+use std::hint::black_box;
+
+fn overlay(n: usize, k: usize) -> DiGraph {
+    let d = DelayModel::from_spec(
+        &PlanetLabSpec::uniform(Region::NorthAmerica, n),
+        &DelayConfig::default(),
+        1,
+    )
+    .base()
+    .clone();
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for o in 1..=k {
+            let j = (i + o * (n / (k + 1)).max(1)) % n;
+            if i != j {
+                g.add_edge(NodeId::from_index(i), NodeId::from_index(j), d.at(i, j));
+            }
+        }
+    }
+    g
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_paths");
+    for n in [50usize, 150, 295] {
+        let g = overlay(n, 5);
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| black_box(dijkstra(&g, NodeId(0))))
+        });
+        group.bench_with_input(BenchmarkId::new("apsp", n), &n, |b, _| {
+            b.iter(|| black_box(apsp(&g)))
+        });
+    }
+    // Floyd–Warshall only at moderate n (O(n^3)).
+    let g = overlay(50, 5);
+    group.bench_function("floyd_warshall/50", |b| {
+        b.iter(|| black_box(floyd_warshall(&g)))
+    });
+    group.finish();
+}
+
+fn bench_bandwidth_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandwidth_algos");
+    for n in [50usize, 150] {
+        let g = overlay(n, 5);
+        group.bench_with_input(BenchmarkId::new("widest_paths", n), &n, |b, _| {
+            b.iter(|| black_box(widest_paths(&g, NodeId(0))))
+        });
+        group.bench_with_input(BenchmarkId::new("max_flow", n), &n, |b, _| {
+            b.iter(|| black_box(max_flow(&g, NodeId(0), NodeId::from_index(n - 1))))
+        });
+        group.bench_with_input(BenchmarkId::new("edge_disjoint", n), &n, |b, _| {
+            b.iter(|| black_box(edge_disjoint_paths(&g, NodeId(0), NodeId::from_index(n - 1))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shortest_paths, bench_bandwidth_algos);
+criterion_main!(benches);

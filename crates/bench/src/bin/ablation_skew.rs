@@ -1,0 +1,79 @@
+//! Ablation (§4.2, footnote 8): "using a uniform routing preference will
+//! tend to deflate the advantage of BR neighbor selection … BR is capable
+//! of leveraging skew in preference to its advantage."
+//!
+//! Sweeps Zipf preference skew and reports BR's advantage over k-Random
+//! (with the §3.2 cycle fix-up applied to the heuristic overlay) — the
+//! gap should widen as preferences concentrate, because BR shortens
+//! routes to exactly the destinations each node cares about.
+
+use egoist_bench::{print_expectation, print_figure, seeds, Series};
+use egoist_core::cost::{disconnection_penalty, node_cost_from_dists, Preferences};
+use egoist_core::game::Game;
+use egoist_core::policies::PolicyKind;
+use egoist_core::stats;
+use egoist_graph::apsp::apsp;
+use egoist_graph::connectivity::strongly_connected;
+use egoist_graph::cycles::enforce_cycle;
+use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
+use egoist_netsim::rng::derive;
+use egoist_netsim::DelayModel;
+
+fn mean_cost(g: &DiGraph, d: &DistanceMatrix, prefs: &Preferences) -> f64 {
+    let n = d.len();
+    let alive = vec![true; n];
+    let penalty = disconnection_penalty(d);
+    let dist = apsp(g);
+    let costs: Vec<f64> = (0..n)
+        .map(|i| {
+            let row: Vec<f64> = (0..n).map(|j| dist.at(i, j)).collect();
+            node_cost_from_dists(NodeId::from_index(i), &row, prefs, &alive, penalty)
+        })
+        .collect();
+    stats::mean(&costs)
+}
+
+fn main() {
+    print_expectation(
+        "BR's advantage over k-Random grows with preference skew — uniform \
+         preferences are the conservative case reported in the paper",
+    );
+
+    let k = 3usize;
+    let exponents = [0.0f64, 0.5, 1.0, 1.5, 2.0];
+    let mut series = Series::new("k-Random cost / BR cost");
+
+    for &expo in &exponents {
+        let mut ratios = Vec::new();
+        for &seed in &seeds() {
+            let d = DelayModel::planetlab_50(seed).base().clone();
+            let members: Vec<NodeId> = (0..50).map(NodeId).collect();
+            let prefs = if expo == 0.0 {
+                Preferences::uniform(50)
+            } else {
+                let mut rng = derive(seed, "skew");
+                Preferences::zipf(50, expo, &mut rng)
+            };
+
+            let mut br = Game::new(d.clone(), k, PolicyKind::BestResponse, seed);
+            br.prefs = prefs.clone();
+            br.run_to_convergence(12);
+
+            let mut rnd = Game::new(d.clone(), k, PolicyKind::Random, seed);
+            rnd.sweep();
+            let mut g = rnd.graph();
+            if !strongly_connected(&g, &members) {
+                enforce_cycle(&mut g, &d, &members);
+            }
+
+            ratios.push(mean_cost(&g, &d, &prefs) / mean_cost(&br.graph(), &d, &prefs));
+        }
+        series.push_samples(expo, &ratios);
+    }
+    print_figure(
+        "Ablation: preference skew amplifies BR's edge (n=50, k=3)",
+        "zipf-exp",
+        "k-Random cost / BR cost",
+        &[series],
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 1 (bottom-right): total available bandwidth / BR available
+//! bandwidth vs k (higher is better; BR normalizes to 1).
+
+use egoist_bench::{epochs, print_expectation, print_figure, seeds, warmup, Series};
+use egoist_core::policies::PolicyKind;
+use egoist_core::sim::{run, Metric, SimConfig};
+
+fn main() {
+    print_expectation(
+        "BR delivers 2x-4x the aggregate bottleneck bandwidth of every \
+         heuristic across the whole k range, so all plotted ratios sit well \
+         below 1.0",
+    );
+
+    let ks = [2usize, 3, 4, 5, 6, 7, 8];
+    let policies = [
+        ("k-Random", PolicyKind::Random),
+        ("k-Regular", PolicyKind::Regular),
+        ("k-Closest", PolicyKind::Closest),
+    ];
+    let mut series: Vec<Series> = policies.iter().map(|(l, _)| Series::new(*l)).collect();
+
+    for &k in &ks {
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for &seed in &seeds() {
+            let mut cfg =
+                SimConfig::baseline(k, PolicyKind::BestResponse, Metric::Bandwidth, seed);
+            cfg.epochs = epochs();
+            cfg.warmup_epochs = warmup();
+            let br_bw = run(cfg.clone()).mean_bandwidth_utility(warmup());
+            for (idx, (_, p)) in policies.iter().enumerate() {
+                let mut pcfg = cfg.clone();
+                pcfg.policy = *p;
+                ratios[idx].push(run(pcfg).mean_bandwidth_utility(warmup()) / br_bw);
+            }
+        }
+        for (idx, r) in ratios.iter().enumerate() {
+            series[idx].push_samples(k as f64, r);
+        }
+    }
+    print_figure(
+        "Figure 1 (bottom-right): PlanetLab baseline, available bandwidth",
+        "k",
+        "total avail. bw / BR avail. bw (higher is better)",
+        &series,
+    );
+}

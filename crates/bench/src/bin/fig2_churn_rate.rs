@@ -1,0 +1,63 @@
+//! Figure 2 (right): node efficiency / BR efficiency vs churn rate
+//! (n = 50, k = 5). The churn rate is measured from each generated trace
+//! with the paper's statistic (fraction of the population changing state
+//! per second).
+
+use egoist_bench::{epochs, print_expectation, print_figure, seeds, warmup, Series};
+use egoist_core::policies::PolicyKind;
+use egoist_core::sim::{run, Metric, SimConfig};
+use egoist_netsim::ChurnModel;
+
+fn main() {
+    print_expectation(
+        "at low churn BR leads; as churn approaches ~1e-2 (a membership event \
+         every couple of seconds) HybridBR overtakes BR, k-Closest stays level \
+         with BR, and k-Random / k-Regular collapse",
+    );
+
+    let k = 5usize;
+    // Timescale divisors spanning the paper's churn sweep.
+    let divisors = [1.0f64, 5.0, 20.0, 80.0, 350.0];
+    let policies = [
+        ("k-Random", PolicyKind::Random),
+        ("k-Regular", PolicyKind::Regular),
+        ("k-Closest", PolicyKind::Closest),
+        ("HybridBR", PolicyKind::HybridBestResponse { k2: 2 }),
+    ];
+    let mut series: Vec<Series> = policies.iter().map(|(l, _)| Series::new(*l)).collect();
+
+    for &div in &divisors {
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        let mut rates = Vec::new();
+        for &seed in &seeds() {
+            let mut model = ChurnModel::planetlab_like(50, seed);
+            model.timescale_divisor = div;
+            let horizon = epochs() as f64 * 60.0;
+            let trace = model.generate(horizon);
+            rates.push(trace.churn_rate());
+
+            let mut cfg =
+                SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
+            cfg.epochs = epochs();
+            cfg.warmup_epochs = warmup();
+            cfg.churn = Some(trace);
+            let br_eff = run(cfg.clone()).mean_efficiency(warmup());
+            for (idx, (_, p)) in policies.iter().enumerate() {
+                let mut pcfg = cfg.clone();
+                pcfg.policy = *p;
+                let eff = run(pcfg).mean_efficiency(warmup());
+                ratios[idx].push(if br_eff > 0.0 { eff / br_eff } else { f64::NAN });
+            }
+        }
+        let rate = egoist_core::stats::mean(&rates).max(1e-7);
+        for (idx, r) in ratios.iter().enumerate() {
+            series[idx].push_samples(rate, r);
+        }
+    }
+    print_figure(
+        "Figure 2 (right): parametrized churn, n=50, k=5",
+        "churn",
+        "node efficiency / BR efficiency",
+        &series,
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 4: robustness to free riders that announce 2× inflated
+//! out-link costs.
+//!
+//! * left  — one free rider, k ∈ 2..8: cost ratio (with cheating /
+//!   honest) for the free rider itself and for the honest majority;
+//! * right — k = 2, 0..16 free riders: the same two ratios.
+
+use egoist_bench::{epochs, print_expectation, print_figure, seeds, warmup, Series};
+use egoist_core::cheat::CheatConfig;
+use egoist_core::policies::PolicyKind;
+use egoist_core::sim::{run, Metric, SimConfig};
+use egoist_core::stats;
+
+/// Mean cost ratio (cheating run / honest run) for a set of nodes.
+fn class_ratio(cheat: &[f64], honest: &[f64], members: impl Iterator<Item = usize>) -> f64 {
+    let mut ratios = Vec::new();
+    for i in members {
+        if cheat[i].is_finite() && honest[i].is_finite() && honest[i] > 0.0 {
+            ratios.push(cheat[i] / honest[i]);
+        }
+    }
+    stats::mean(&ratios)
+}
+
+fn main() {
+    print_expectation(
+        "both panels hug 1.0 (within ±10-20%): inflating announced costs \
+         barely helps or hurts anyone, even with a third of the population \
+         cheating at k=2",
+    );
+
+    // ---- Left: one free rider, k sweep. ----
+    let ks = [2usize, 3, 4, 5, 6, 7, 8];
+    let mut fr_series = Series::new("Free rider");
+    let mut honest_series = Series::new("Non free riders");
+    for &k in &ks {
+        let mut fr = Vec::new();
+        let mut hn = Vec::new();
+        for &seed in &seeds() {
+            let mut cfg = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
+            cfg.epochs = epochs();
+            cfg.warmup_epochs = warmup();
+            let honest = run(cfg.clone()).per_node_mean_cost(warmup());
+            cfg.cheat = CheatConfig::single(egoist_graph::NodeId(0));
+            let cheat = run(cfg).per_node_mean_cost(warmup());
+            fr.push(class_ratio(&cheat, &honest, std::iter::once(0)));
+            hn.push(class_ratio(&cheat, &honest, 1..50));
+        }
+        fr_series.push_samples(k as f64, &fr);
+        honest_series.push_samples(k as f64, &hn);
+    }
+    print_figure(
+        "Figure 4 (left): one free rider (2x inflation), n=50",
+        "k",
+        "individual cost / cost without free rider",
+        &[fr_series, honest_series],
+    );
+
+    // ---- Right: k=2, population sweep. ----
+    let counts = [0usize, 2, 4, 6, 8, 10, 12, 14, 16];
+    let mut fr_series = Series::new("Free riders");
+    let mut honest_series = Series::new("Non free riders");
+    for &count in &counts {
+        let mut fr = Vec::new();
+        let mut hn = Vec::new();
+        for &seed in &seeds() {
+            let mut cfg = SimConfig::baseline(2, PolicyKind::BestResponse, Metric::DelayPing, seed);
+            cfg.epochs = epochs();
+            cfg.warmup_epochs = warmup();
+            let honest = run(cfg.clone()).per_node_mean_cost(warmup());
+            cfg.cheat = CheatConfig::first_n(count, 2.0);
+            let cheat = run(cfg).per_node_mean_cost(warmup());
+            if count > 0 {
+                fr.push(class_ratio(&cheat, &honest, 0..count));
+            } else {
+                fr.push(1.0);
+            }
+            hn.push(class_ratio(&cheat, &honest, count..50));
+        }
+        fr_series.push_samples(count as f64, &fr);
+        honest_series.push_samples(count as f64, &hn);
+    }
+    print_figure(
+        "Figure 4 (right): many free riders, n=50, k=2",
+        "free riders",
+        "individual cost / cost without free riders",
+        &[fr_series, honest_series],
+    );
+}

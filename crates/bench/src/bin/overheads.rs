@@ -1,0 +1,119 @@
+//! §4.3 overhead validation: run a real protocol overlay (SimNet
+//! transport, paused virtual clock) with the paper's timers, measure the
+//! injected traffic per message class, and compare with the analytic
+//! formulas.
+
+use egoist_core::stats;
+use egoist_graph::{DistanceMatrix, NodeId};
+use egoist_netsim::fault::FaultConfig;
+use egoist_netsim::DelayModel;
+use egoist_proto::bootstrap::{BootstrapServer, Registry};
+use egoist_proto::message::MessageClass;
+use egoist_proto::overhead::analytic;
+use egoist_proto::{EgoistNode, NodeConfig, SimNet};
+use std::time::Duration;
+
+const BOOT: NodeId = NodeId(1000);
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() {
+    // Virtual time: the whole 20-minute run takes milliseconds.
+    tokio::time::pause();
+
+    let n = 20usize;
+    let k = 5usize;
+    let t_epoch = 60.0;
+    let t_announce = 20.0;
+    let horizon_secs = 20.0 * 60.0;
+
+    println!("# §4.3 overhead validation: n={n}, k={k}, T={t_epoch}s, T_announce={t_announce}s");
+    println!("# paper expectation: measurement ≈ (n-k-1)*320/T bps; LSA ≈ (192+32k)/T_a bps;");
+    println!("#                    both tiny (tens to hundreds of bps per node)");
+
+    let delays = DelayModel::planetlab_50(7).base().submatrix(
+        &(0..n as u32).map(NodeId).collect::<Vec<_>>(),
+    );
+    let mut big = DistanceMatrix::off_diagonal(1001, 1.0);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                big.set_at(i, j, delays.at(i, j));
+            }
+        }
+    }
+    let net = SimNet::new(big, FaultConfig::default(), 11);
+    tokio::spawn(BootstrapServer::new(net.endpoint(BOOT), Registry::default()).run());
+
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mut cfg = NodeConfig::new(NodeId::from_index(i), n, k);
+        cfg.epoch = Duration::from_secs_f64(t_epoch);
+        cfg.announce_interval = Duration::from_secs_f64(t_announce);
+        cfg.ping_interval = Duration::from_secs_f64(t_epoch);
+        cfg.liveness_timeout = Duration::from_secs_f64(3.0 * t_epoch);
+        cfg.bootstrap = Some(BOOT);
+        handles.push(EgoistNode::new(cfg, net.endpoint(NodeId::from_index(i))).spawn());
+        tokio::time::sleep(Duration::from_millis(500)).await;
+    }
+    tokio::time::sleep(Duration::from_secs_f64(horizon_secs)).await;
+
+    let mut ping_bps = Vec::new();
+    let mut lsa_bps = Vec::new();
+    for h in &handles {
+        let v = h.snapshot();
+        ping_bps.push(v.overhead.bps(MessageClass::Measurement, horizon_secs));
+        lsa_bps.push(v.overhead.bps(MessageClass::LinkState, horizon_secs));
+    }
+    for h in handles {
+        h.stop().await;
+    }
+
+    // Our ping frames are 52 bytes (paper assumed 40-byte ICMP echo).
+    let our_ping_bits = 52.0 * 8.0;
+    // Our LSA frame: 12-byte envelope + 14-byte LSA header + 8 bytes/link.
+    let our_lsa_header_bits = (12.0 + 14.0) * 8.0;
+    let our_lsa_entry_bits = 8.0 * 8.0;
+
+    println!();
+    println!("{:<28} {:>12} {:>12} {:>14}", "quantity", "measured", "analytic", "paper-formula");
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>14.1}",
+        "ping bps/node",
+        stats::mean(&ping_bps),
+        // Pings go to n-1 known peers (pongs count too, hence ×~2).
+        2.0 * (n as f64 - 1.0) * our_ping_bits / t_epoch,
+        analytic::ping_bps(n, k, t_epoch, analytic::PAPER_PING_BITS),
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1} {:>14.1}",
+        "link-state bps/node",
+        stats::mean(&lsa_bps),
+        // Flooding: every node forwards each fresh LSA once over its ~2k
+        // overlay links (out-neighbors + in-neighbors), so one announce
+        // costs ≈ n·2k transmissions network-wide; with n origins per
+        // T_announce that is ≈ frame · n · 2k / T_a per node — the O(nk)
+        // (not O(n²)) scaling §4.3 claims for the link-state protocol.
+        (our_lsa_header_bits + our_lsa_entry_bits * k as f64) * (n as f64 * 2.0 * k as f64)
+            / t_announce,
+        analytic::lsa_bps(
+            k,
+            t_announce,
+            analytic::PAPER_LSA_HEADER_BITS,
+            analytic::PAPER_LSA_ENTRY_BITS
+        ),
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>14.1}",
+        "pyxida bps/node (formula)",
+        "-",
+        "-",
+        analytic::pyxida_bps(n, t_epoch),
+    );
+    println!();
+    println!(
+        "# note: the paper-formula column counts one injected announcement per origin \
+         (what §4.3 reports); the measured and analytic columns include flood \
+         forwarding, which multiplies per-node load by ≈ n·2k/n-origins — still the \
+         O(nk), not O(n²), scaling §3.1 claims over a full mesh."
+    );
+}

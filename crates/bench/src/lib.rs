@@ -1,0 +1,152 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper: it
+//! sweeps the paper's x-axis, runs the simulator / game / protocol, and
+//! prints one row per x-value with one column per series — the same
+//! series the paper plots — plus the paper's qualitative expectation so
+//! `EXPERIMENTS.md` can record paper-vs-measured directly.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `EGOIST_SEEDS`  — comma-separated seeds (default `1,2,3`).
+//! * `EGOIST_EPOCHS` — epochs per simulation (default 30).
+//! * `EGOIST_FAST`   — set to `1` for a quick smoke run (one seed, few
+//!   epochs); used by the integration tests.
+
+use egoist_core::stats;
+
+/// One plotted series: label plus `(x, mean, ci)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point from per-seed samples (mean ± 95% CI).
+    pub fn push_samples(&mut self, x: f64, samples: &[f64]) {
+        let (m, ci) = stats::mean_ci(samples);
+        self.points.push((x, m, ci));
+    }
+
+    /// Append an exact point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y, 0.0));
+    }
+}
+
+/// Print a figure as an aligned text table.
+pub fn print_figure(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) {
+    println!("# {title}");
+    println!("# x = {xlabel}; y = {ylabel}; value ± 95% CI over seeds/nodes");
+    print!("{:>10}", xlabel);
+    for s in series {
+        print!("  {:>22}", s.label);
+    }
+    println!();
+    // Collect the union of x values (series should share them).
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    for x in xs {
+        print!("{x:>10.5}");
+        for s in series {
+            match s
+                .points
+                .iter()
+                .find(|p| (p.0 - x).abs() < 1e-12)
+            {
+                Some(&(_, y, ci)) if ci > 0.0 => print!("  {:>14.4} ±{:>6.3}", y, ci),
+                Some(&(_, y, _)) => print!("  {:>22.4}", y),
+                None => print!("  {:>22}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Experiment seeds from `EGOIST_SEEDS` (default `1,2,3`).
+pub fn seeds() -> Vec<u64> {
+    if fast() {
+        return vec![1];
+    }
+    std::env::var("EGOIST_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 3])
+}
+
+/// Epochs per simulation from `EGOIST_EPOCHS` (default 30; 8 in fast
+/// mode). Warmup is 1/3 of the horizon.
+pub fn epochs() -> usize {
+    if fast() {
+        return 8;
+    }
+    std::env::var("EGOIST_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30)
+}
+
+/// Warmup epochs to drop from steady-state statistics.
+pub fn warmup() -> usize {
+    epochs() / 3
+}
+
+/// Quick smoke mode for tests.
+pub fn fast() -> bool {
+    std::env::var("EGOIST_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Print the paper's qualitative expectation for the figure, so that the
+/// run output is self-documenting next to EXPERIMENTS.md.
+pub fn print_expectation(text: &str) {
+    println!("# paper expectation: {text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("BR");
+        s.push_samples(2.0, &[1.0, 2.0, 3.0]);
+        s.push(3.0, 5.0);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].1, 2.0);
+        assert!(s.points[0].2 > 0.0);
+        assert_eq!(s.points[1], (3.0, 5.0, 0.0));
+    }
+
+    #[test]
+    fn default_seeds_nonempty() {
+        assert!(!seeds().is_empty());
+    }
+
+    #[test]
+    fn print_does_not_panic_on_misaligned_series() {
+        let mut a = Series::new("a");
+        a.push(1.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 3.0);
+        print_figure("test", "k", "cost", &[a, b]);
+    }
+}

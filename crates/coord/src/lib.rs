@@ -1,0 +1,229 @@
+//! Vivaldi network coordinates — the passive delay estimator of EGOIST.
+//!
+//! The paper's "pyxida" mode (§4.1) queries a virtual coordinate system
+//! instead of active pings: "Using pyxida, delay estimates are available
+//! through a simple query to the pyxida system … produces less accurate
+//! estimates, but consumes much less bandwidth." pyxida implements the
+//! Vivaldi algorithm (Dabek et al., SIGCOMM'04) with height vectors; this
+//! crate implements the same algorithm from scratch.
+//!
+//! * [`Coord`] — a Euclidean coordinate plus a *height* modeling the
+//!   access-link detour that Euclidean embeddings cannot express.
+//! * [`VivaldiNode`] — one node's adaptive-timestep update rule.
+//! * [`system::CoordinateSystem`] — a gossiping population of Vivaldi
+//!   nodes driven by RTT samples; exposes the "one query returns distances
+//!   to everyone" API that EGOIST's pyxida mode uses (overhead
+//!   `≈ (320 + 32n)/T` bps per node, §4.3).
+
+pub mod system;
+
+pub use system::CoordinateSystem;
+
+/// Dimensionality of the Euclidean part (pyxida used low-dimensional
+/// spaces; 2D + height is the classic Vivaldi configuration).
+pub const DIM: usize = 2;
+
+/// A Vivaldi coordinate: Euclidean position + height (ms).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Coord {
+    pub pos: [f64; DIM],
+    pub height: f64,
+}
+
+impl Default for Coord {
+    fn default() -> Self {
+        Coord {
+            pos: [0.0; DIM],
+            height: 0.1,
+        }
+    }
+}
+
+impl Coord {
+    /// Predicted one-way-ish distance between two coordinates:
+    /// Euclidean distance plus both heights (ms).
+    pub fn distance(&self, other: &Coord) -> f64 {
+        let mut s = 0.0;
+        for d in 0..DIM {
+            s += (self.pos[d] - other.pos[d]).powi(2);
+        }
+        s.sqrt() + self.height + other.height
+    }
+
+    /// Unit vector from `other` toward `self` with the height dimension;
+    /// when the Euclidean parts coincide, a deterministic tiny separation
+    /// is used (the random-direction kick of the original paper, made
+    /// deterministic by the caller-supplied `tiebreak` value).
+    fn direction_from(&self, other: &Coord, tiebreak: f64) -> ([f64; DIM], f64) {
+        let mut v = [0.0; DIM];
+        let mut norm = 0.0;
+        for d in 0..DIM {
+            v[d] = self.pos[d] - other.pos[d];
+            norm += v[d] * v[d];
+        }
+        norm = norm.sqrt();
+        if norm < 1e-9 {
+            // Deterministic pseudo-random direction.
+            let ang = tiebreak * std::f64::consts::TAU;
+            v[0] = ang.cos();
+            v[1] = ang.sin();
+            norm = 1.0;
+        }
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+        (v, 1.0)
+    }
+}
+
+/// One node's Vivaldi state with the adaptive timestep of the original
+/// algorithm (confidence-weighted).
+#[derive(Clone, Debug)]
+pub struct VivaldiNode {
+    pub coord: Coord,
+    /// Relative error estimate in [0, 1]+; starts pessimistic.
+    pub error: f64,
+    /// Tuning constant for the timestep (c_c in the Vivaldi paper).
+    pub cc: f64,
+    /// Tuning constant for the error EWMA (c_e).
+    pub ce: f64,
+    samples: u64,
+}
+
+impl Default for VivaldiNode {
+    fn default() -> Self {
+        VivaldiNode {
+            coord: Coord::default(),
+            error: 1.0,
+            cc: 0.25,
+            ce: 0.25,
+            samples: 0,
+        }
+    }
+}
+
+impl VivaldiNode {
+    /// Incorporate one RTT/2 sample toward a peer with coordinate
+    /// `peer_coord` and error estimate `peer_error`. `measured` is the
+    /// measured one-way delay (ms).
+    pub fn observe(&mut self, peer_coord: &Coord, peer_error: f64, measured: f64) {
+        if !measured.is_finite() || measured <= 0.0 {
+            return;
+        }
+        self.samples += 1;
+        let predicted = self.coord.distance(peer_coord);
+        // Sample confidence weight: balances local vs remote error.
+        let w = if self.error + peer_error > 0.0 {
+            self.error / (self.error + peer_error)
+        } else {
+            0.5
+        };
+        // Relative error of this sample.
+        let es = (predicted - measured).abs() / measured;
+        // Update local error estimate (EWMA weighted by confidence).
+        self.error = (es * self.ce * w + self.error * (1.0 - self.ce * w)).clamp(0.0, 2.0);
+        // Adaptive timestep.
+        let delta = self.cc * w;
+        let force = delta * (measured - predicted);
+        // Deterministic tiebreak derived from the sample count.
+        let tiebreak = (self.samples as f64 * 0.618_033_988_749_895) % 1.0;
+        let (dir, _) = self.coord.direction_from(peer_coord, tiebreak);
+        for d in 0..DIM {
+            self.coord.pos[d] += force * dir[d];
+        }
+        // Height absorbs the non-Euclidean residual; never below a floor.
+        self.coord.height = (self.coord.height + force * 0.1).max(0.05);
+    }
+
+    /// Number of samples absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        let a = Coord {
+            pos: [0.0, 0.0],
+            height: 1.0,
+        };
+        let b = Coord {
+            pos: [3.0, 4.0],
+            height: 2.0,
+        };
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!((a.distance(&b) - 8.0).abs() < 1e-12); // 5 + 1 + 2
+    }
+
+    #[test]
+    fn observe_moves_toward_truth() {
+        let mut n = VivaldiNode::default();
+        let peer = Coord {
+            pos: [10.0, 0.0],
+            height: 0.1,
+        };
+        let before = (n.coord.distance(&peer) - 20.0).abs();
+        for _ in 0..50 {
+            n.observe(&peer, 0.5, 20.0);
+        }
+        let after = (n.coord.distance(&peer) - 20.0).abs();
+        assert!(after < before, "prediction error should shrink: {before} → {after}");
+    }
+
+    #[test]
+    fn error_estimate_decreases_with_consistent_samples() {
+        let mut n = VivaldiNode::default();
+        let peer = Coord {
+            pos: [5.0, 5.0],
+            height: 0.1,
+        };
+        for _ in 0..100 {
+            n.observe(&peer, 0.2, 12.0);
+        }
+        assert!(n.error < 1.0);
+    }
+
+    #[test]
+    fn bogus_samples_are_ignored() {
+        let mut n = VivaldiNode::default();
+        let c0 = n.coord;
+        n.observe(&Coord::default(), 0.5, f64::NAN);
+        n.observe(&Coord::default(), 0.5, -3.0);
+        n.observe(&Coord::default(), 0.5, 0.0);
+        assert_eq!(n.coord, c0);
+        assert_eq!(n.samples(), 0);
+    }
+
+    #[test]
+    fn coincident_coordinates_separate() {
+        let mut a = VivaldiNode::default();
+        let b = VivaldiNode::default();
+        a.observe(&b.coord, 1.0, 30.0);
+        let eucl: f64 = a
+            .coord
+            .pos
+            .iter()
+            .zip(&b.coord.pos)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(eucl > 0.0, "tiebreak kick must separate coincident nodes");
+    }
+
+    #[test]
+    fn height_never_negative() {
+        let mut n = VivaldiNode::default();
+        let peer = Coord {
+            pos: [1.0, 0.0],
+            height: 50.0,
+        };
+        for _ in 0..200 {
+            n.observe(&peer, 0.1, 0.5); // much smaller than predicted
+        }
+        assert!(n.coord.height >= 0.05);
+    }
+}

@@ -1,0 +1,215 @@
+//! Free riders and audits (§3.4, §4.5).
+//!
+//! A free rider "announces false information via the link-state protocol
+//! to discourage others from picking it as an upstream neighbor", e.g. by
+//! inflating the delays of its outgoing links. The lie affects (a) other
+//! nodes' wiring decisions and (b) overlay routing — but not the liar's
+//! own direct measurements, and not the *true* delay its forwarded traffic
+//! experiences.
+//!
+//! The audit countermeasure compares announced link costs against
+//! independently obtained estimates (virtual-coordinate queries or active
+//! probes) and flags nodes whose announcements deviate beyond a tolerance.
+
+use egoist_graph::{DistanceMatrix, NodeId};
+
+/// Configuration of the cheating population.
+#[derive(Clone, Debug, Default)]
+pub struct CheatConfig {
+    /// Nodes that misreport their outgoing link costs.
+    pub free_riders: Vec<NodeId>,
+    /// Multiplier applied to the liar's announced out-link costs
+    /// (2.0 in Fig. 4; values below 1.0 model *deflation*, which footnote
+    /// 10 reports behaves similarly).
+    pub inflation: f64,
+}
+
+impl CheatConfig {
+    /// No cheating.
+    pub fn honest() -> Self {
+        CheatConfig {
+            free_riders: Vec::new(),
+            inflation: 1.0,
+        }
+    }
+
+    /// One free rider with the paper's ×2 inflation.
+    pub fn single(node: NodeId) -> Self {
+        CheatConfig {
+            free_riders: vec![node],
+            inflation: 2.0,
+        }
+    }
+
+    /// The first `count` nodes cheat with ×2 inflation (Fig. 4 right
+    /// sweeps 0..16 free riders).
+    pub fn first_n(count: usize, inflation: f64) -> Self {
+        CheatConfig {
+            free_riders: (0..count as u32).map(NodeId).collect(),
+            inflation,
+        }
+    }
+
+    /// Is `i` a free rider?
+    pub fn is_free_rider(&self, i: NodeId) -> bool {
+        self.free_riders.contains(&i)
+    }
+
+    /// The announced cost matrix: true costs with the free riders' *rows*
+    /// (their outgoing links) scaled by `inflation`.
+    pub fn announced_matrix(&self, truth: &DistanceMatrix) -> DistanceMatrix {
+        let n = truth.len();
+        DistanceMatrix::from_fn(n, |i, j| {
+            let c = truth.at(i, j);
+            if self.is_free_rider(NodeId::from_index(i)) {
+                c * self.inflation
+            } else {
+                c
+            }
+        })
+    }
+}
+
+/// Result of auditing one node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditFinding {
+    pub node: NodeId,
+    /// Maximum relative deviation |announced − estimated| / estimated over
+    /// the audited links.
+    pub max_deviation: f64,
+    pub flagged: bool,
+}
+
+/// Audit announced link costs against independent estimates.
+///
+/// `announced` is the link-state view; `estimate(u, v)` returns an
+/// independent estimate of the true cost (e.g. a pyxida query, §3.4).
+/// A node is flagged when any of its audited out-links deviates by more
+/// than `tolerance` (relative).
+pub fn audit(
+    announced: &DistanceMatrix,
+    mut estimate: impl FnMut(NodeId, NodeId) -> f64,
+    audited_nodes: &[NodeId],
+    links_per_node: usize,
+    tolerance: f64,
+) -> Vec<AuditFinding> {
+    let n = announced.len();
+    audited_nodes
+        .iter()
+        .map(|&u| {
+            let mut max_dev: f64 = 0.0;
+            let mut audited = 0usize;
+            for j in 0..n {
+                if j == u.index() || audited >= links_per_node {
+                    continue;
+                }
+                let v = NodeId::from_index(j);
+                let est = estimate(u, v);
+                if !est.is_finite() || est <= 0.0 {
+                    continue;
+                }
+                let ann = announced.get(u, v);
+                max_dev = max_dev.max((ann - est).abs() / est);
+                audited += 1;
+            }
+            AuditFinding {
+                node: u,
+                max_deviation: max_dev,
+                flagged: max_dev > tolerance,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| ((i * 3 + j * 7) % 11 + 2) as f64)
+    }
+
+    #[test]
+    fn announced_inflates_only_liar_rows() {
+        let t = truth(5);
+        let cfg = CheatConfig::single(NodeId(2));
+        let a = cfg.announced_matrix(&t);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i == j {
+                    continue;
+                }
+                let expect = if i == 2 { t.at(i, j) * 2.0 } else { t.at(i, j) };
+                assert_eq!(a.at(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn honest_config_is_identity() {
+        let t = truth(4);
+        assert_eq!(CheatConfig::honest().announced_matrix(&t), t);
+    }
+
+    #[test]
+    fn first_n_builds_the_sweep_population() {
+        let cfg = CheatConfig::first_n(3, 2.0);
+        assert!(cfg.is_free_rider(NodeId(0)));
+        assert!(cfg.is_free_rider(NodeId(2)));
+        assert!(!cfg.is_free_rider(NodeId(3)));
+    }
+
+    #[test]
+    fn audit_flags_exactly_the_liars() {
+        let t = truth(8);
+        let cfg = CheatConfig {
+            free_riders: vec![NodeId(1), NodeId(6)],
+            inflation: 2.0,
+        };
+        let announced = cfg.announced_matrix(&t);
+        let all: Vec<NodeId> = (0..8).map(NodeId).collect();
+        // Perfect estimator (truth itself), 20% tolerance.
+        let findings = audit(&announced, |u, v| t.get(u, v), &all, 4, 0.2);
+        for f in &findings {
+            assert_eq!(
+                f.flagged,
+                cfg.is_free_rider(f.node),
+                "audit mismatch at {:?}",
+                f.node
+            );
+        }
+    }
+
+    #[test]
+    fn audit_tolerates_noisy_estimates() {
+        let t = truth(8);
+        let cfg = CheatConfig::single(NodeId(3));
+        let announced = cfg.announced_matrix(&t);
+        let all: Vec<NodeId> = (0..8).map(NodeId).collect();
+        // Estimator with ±10% deterministic wobble; tolerance 40% still
+        // separates honest (≤10% dev) from ×2 liars (~100% dev).
+        let findings = audit(
+            &announced,
+            |u, v| t.get(u, v) * (1.0 + 0.1 * ((u.0 + v.0) % 3) as f64 / 2.0 - 0.05),
+            &all,
+            5,
+            0.4,
+        );
+        for f in &findings {
+            assert_eq!(f.flagged, f.node == NodeId(3));
+        }
+    }
+
+    #[test]
+    fn deflation_also_detected() {
+        let t = truth(6);
+        let cfg = CheatConfig {
+            free_riders: vec![NodeId(0)],
+            inflation: 0.4,
+        };
+        let announced = cfg.announced_matrix(&t);
+        let findings = audit(&announced, |u, v| t.get(u, v), &[NodeId(0), NodeId(1)], 3, 0.3);
+        assert!(findings[0].flagged);
+        assert!(!findings[1].flagged);
+    }
+}

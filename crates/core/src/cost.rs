@@ -1,0 +1,295 @@
+//! The SNS cost model.
+//!
+//! `C_i(S) = Σ_{j≠i} p_ij · d_S(v_i, v_j)` where `p_ij` is node `i`'s
+//! preference for destination `j` and `d_S` the shortest-path distance over
+//! the global wiring (Definition 1). Unreachable destinations cost `M ≫ n`
+//! — a large *finite* penalty, so best responses are still comparable and
+//! "the (infinite) cost of reaching the disconnected nodes will act as an
+//! incentive for nodes to choose disconnected nodes as direct neighbors"
+//! (§4.4).
+
+use egoist_graph::apsp::apsp;
+use egoist_graph::dijkstra::dijkstra;
+use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
+use rand::RngExt;
+
+/// Preference weights `p_ij`. Row `i` holds node `i`'s preference for each
+/// destination; the diagonal is ignored. The paper's experiments use
+/// uniform preference (which, per §4.2, is *conservative* for BR — skew
+/// only helps it).
+#[derive(Clone, Debug)]
+pub struct Preferences {
+    n: usize,
+    weights: Vec<f64>,
+}
+
+impl Preferences {
+    /// Uniform preference over all destinations: `p_ij = 1/(n−1)`.
+    pub fn uniform(n: usize) -> Self {
+        let w = if n > 1 { 1.0 / (n as f64 - 1.0) } else { 0.0 };
+        Preferences {
+            n,
+            weights: vec![w; n * n],
+        }
+    }
+
+    /// Zipf-skewed preferences: destination ranks are permuted per source
+    /// (deterministically from `rng`), weight ∝ 1/rank^exponent, rows
+    /// normalized to 1. Exercises the "BR leverages skew" claim.
+    pub fn zipf(n: usize, exponent: f64, rng: &mut impl RngExt) -> Self {
+        let mut weights = vec![0.0; n * n];
+        for i in 0..n {
+            // Random permutation of destinations.
+            let mut dests: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            for x in (1..dests.len()).rev() {
+                let y = rng.random_range(0..=x);
+                dests.swap(x, y);
+            }
+            let mut sum = 0.0;
+            for (rank, &j) in dests.iter().enumerate() {
+                let w = 1.0 / ((rank + 1) as f64).powf(exponent);
+                weights[i * n + j] = w;
+                sum += w;
+            }
+            if sum > 0.0 {
+                for &j in &dests {
+                    weights[i * n + j] /= sum;
+                }
+            }
+        }
+        Preferences { n, weights }
+    }
+
+    /// `p_ij`.
+    #[inline]
+    pub fn get(&self, i: NodeId, j: NodeId) -> f64 {
+        self.weights[i.index() * self.n + j.index()]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.weights[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Disconnection penalty: `M` scaled to dominate any real path cost.
+/// The paper requires `M ≫ n` under hop-count; for general metrics we use
+/// a multiple of the largest finite direct cost times `n`.
+pub fn disconnection_penalty(d: &DistanceMatrix) -> f64 {
+    let n = d.len().max(2);
+    let mut max_c: f64 = 0.0;
+    for i in 0..d.len() {
+        for j in 0..d.len() {
+            let c = d.at(i, j);
+            if c.is_finite() {
+                max_c = max_c.max(c);
+            }
+        }
+    }
+    if max_c <= 0.0 {
+        max_c = 1.0;
+    }
+    max_c * n as f64 * 4.0
+}
+
+/// Node `i`'s cost given its shortest-path distance vector `dist` (length
+/// n), preferences and penalty for unreachable destinations.
+pub fn node_cost_from_dists(
+    i: NodeId,
+    dist: &[f64],
+    prefs: &Preferences,
+    alive: &[bool],
+    penalty: f64,
+) -> f64 {
+    let n = dist.len();
+    let mut c = 0.0;
+    for j in 0..n {
+        if j == i.index() || !alive[j] {
+            continue;
+        }
+        let d = dist[j];
+        let term = if d.is_finite() { d } else { penalty };
+        c += prefs.row(i.index())[j] * term;
+    }
+    c
+}
+
+/// Routing-cost evaluation over an overlay, separating announced from true
+/// edge costs.
+///
+/// Wiring and routing decisions both consume *announced* costs (that is
+/// all the link-state protocol gives you); the *realized* cost of a route
+/// is the sum of true costs along the announced-shortest path. With honest
+/// nodes the two matrices coincide and `realized == announced` distances.
+pub struct RoutingCosts {
+    /// Shortest-path distances over announced costs.
+    pub announced_dist: DistanceMatrix,
+    /// Realized (true-cost) distance along each announced-shortest path.
+    pub realized_dist: DistanceMatrix,
+}
+
+impl RoutingCosts {
+    /// Evaluate an overlay graph whose edges carry announced costs;
+    /// `true_cost(u, v)` supplies the true cost of each used edge.
+    pub fn evaluate(
+        announced: &DiGraph,
+        mut true_cost: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> RoutingCosts {
+        let n = announced.len();
+        let announced_dist = apsp(announced);
+        let mut realized = DistanceMatrix::filled(n, f64::INFINITY);
+        for i in 0..n {
+            let sp = dijkstra(announced, NodeId::from_index(i));
+            for j in 0..n {
+                if i == j {
+                    realized.set_at(i, j, 0.0);
+                    continue;
+                }
+                if let Some(path) = sp.path_to(NodeId::from_index(j)) {
+                    let mut c = 0.0;
+                    for w in path.windows(2) {
+                        c += true_cost(w[0], w[1]);
+                    }
+                    realized.set_at(i, j, c);
+                }
+            }
+        }
+        RoutingCosts {
+            announced_dist,
+            realized_dist: realized,
+        }
+    }
+
+    /// Mean realized individual cost per node over alive destinations.
+    pub fn individual_costs(
+        &self,
+        prefs: &Preferences,
+        alive: &[bool],
+        penalty: f64,
+    ) -> Vec<f64> {
+        let n = self.realized_dist.len();
+        (0..n)
+            .map(|i| {
+                let row: Vec<f64> = (0..n).map(|j| self.realized_dist.at(i, j)).collect();
+                node_cost_from_dists(NodeId::from_index(i), &row, prefs, alive, penalty)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rows_sum_to_one() {
+        let p = Preferences::uniform(5);
+        for i in 0..5 {
+            let s: f64 = p
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, w)| w)
+                .sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_rows_sum_to_one_and_are_skewed() {
+        let mut rng = egoist_netsim::rng::derive(1, "zipf");
+        let p = Preferences::zipf(10, 1.2, &mut rng);
+        for i in 0..10 {
+            let row = p.row(i);
+            let s: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, w)| w).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            let max = row.iter().cloned().fold(0.0, f64::max);
+            assert!(max > 2.0 / 9.0, "skew should concentrate mass: {max}");
+        }
+    }
+
+    #[test]
+    fn penalty_dominates_any_path() {
+        let d = DistanceMatrix::off_diagonal(10, 50.0);
+        let m = disconnection_penalty(&d);
+        // Any simple path costs < n * max ≤ 500.
+        assert!(m > 500.0);
+    }
+
+    #[test]
+    fn node_cost_uses_penalty_for_unreachable() {
+        let prefs = Preferences::uniform(3);
+        let alive = vec![true; 3];
+        let dist = vec![0.0, 2.0, f64::INFINITY];
+        let c = node_cost_from_dists(NodeId(0), &dist, &prefs, &alive, 100.0);
+        assert!((c - 0.5 * (2.0 + 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_cost_skips_dead_nodes() {
+        let prefs = Preferences::uniform(3);
+        let alive = vec![true, true, false];
+        let dist = vec![0.0, 2.0, f64::INFINITY];
+        let c = node_cost_from_dists(NodeId(0), &dist, &prefs, &alive, 100.0);
+        assert!((c - 0.5 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realized_equals_announced_for_honest_nodes() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(1), NodeId(2), 3.0);
+        let rc = RoutingCosts::evaluate(&g, |u, v| g.edge_cost(u, v).unwrap());
+        assert_eq!(rc.announced_dist.at(0, 2), 5.0);
+        assert_eq!(rc.realized_dist.at(0, 2), 5.0);
+    }
+
+    #[test]
+    fn inflated_announcement_diverts_routing() {
+        // True costs: 0→1→2 costs 2, direct 0→2 costs 3.
+        // Node 1 inflates its out-link 1→2 to 9 → routing goes direct (3),
+        // realized cost 3 even though the true best path costs 2.
+        let mut announced = DiGraph::new(3);
+        announced.add_edge(NodeId(0), NodeId(1), 1.0);
+        announced.add_edge(NodeId(1), NodeId(2), 9.0); // true 1.0
+        announced.add_edge(NodeId(0), NodeId(2), 3.0);
+        let rc = RoutingCosts::evaluate(&announced, |u, v| {
+            if (u, v) == (NodeId(1), NodeId(2)) {
+                1.0
+            } else {
+                announced.edge_cost(u, v).unwrap()
+            }
+        });
+        assert_eq!(rc.announced_dist.at(0, 2), 3.0);
+        assert_eq!(rc.realized_dist.at(0, 2), 3.0);
+        // The honest network would have realized 2.0; the lie costs 0→ 1.0.
+    }
+
+    #[test]
+    fn individual_costs_vector_shape() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(0), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(1), 1.0);
+        let rc = RoutingCosts::evaluate(&g, |u, v| g.edge_cost(u, v).unwrap());
+        let prefs = Preferences::uniform(3);
+        let costs = rc.individual_costs(&prefs, &[true, true, true], 1e6);
+        assert_eq!(costs.len(), 3);
+        // Node 1 is the hub: cheapest.
+        assert!(costs[1] < costs[0]);
+        assert!(costs[1] < costs[2]);
+    }
+}

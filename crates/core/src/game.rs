@@ -1,0 +1,400 @@
+//! The SNS game engine: iterated best-response dynamics.
+//!
+//! Nodes take turns re-wiring under a chosen policy. The engine tracks
+//! whether each turn actually changed the wiring (re-wiring counts, Fig. 3),
+//! detects convergence (a full sweep with no changes — a pure Nash
+//! equilibrium when every node plays exact BR), and reports individual and
+//! social costs.
+
+use crate::cost::{disconnection_penalty, node_cost_from_dists, Preferences};
+use crate::policies::{Policy, PolicyKind, WiringContext};
+use crate::wiring::Wiring;
+use egoist_graph::apsp::apsp;
+use egoist_graph::dijkstra::dijkstra;
+use egoist_graph::{DistanceMatrix, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An overlay population playing the SNS game on a fixed cost matrix.
+pub struct Game {
+    /// Announced direct-link costs `d_ij`.
+    pub costs: DistanceMatrix,
+    pub prefs: Preferences,
+    pub k: usize,
+    pub wiring: Wiring,
+    pub alive: Vec<bool>,
+    pub penalty: f64,
+    policy: Box<dyn Policy + Send + Sync>,
+    rng: StdRng,
+}
+
+/// Result of running dynamics to convergence.
+#[derive(Clone, Debug)]
+pub struct ConvergenceReport {
+    /// Whether a full no-change sweep was reached.
+    pub converged: bool,
+    /// Sweeps executed.
+    pub sweeps: usize,
+    /// Re-wirings per sweep.
+    pub rewirings: Vec<usize>,
+}
+
+impl Game {
+    /// New game; every node starts unwired.
+    pub fn new(costs: DistanceMatrix, k: usize, kind: PolicyKind, seed: u64) -> Self {
+        let n = costs.len();
+        let penalty = disconnection_penalty(&costs);
+        Game {
+            prefs: Preferences::uniform(n),
+            k,
+            wiring: Wiring::empty(n),
+            alive: vec![true; n],
+            penalty,
+            policy: kind.instantiate(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6A3E),
+            costs,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Alive node ids.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&i| self.alive[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// Give node `i` a turn: compute its wiring under the policy and
+    /// install it. Returns `true` when the wiring changed.
+    pub fn rewire_node(&mut self, i: NodeId) -> bool {
+        if !self.alive[i.index()] {
+            return false;
+        }
+        let residual_graph = self.wiring.residual_graph(i, &self.costs, &self.alive);
+        let residual = apsp(&residual_graph);
+        let candidates: Vec<NodeId> = (0..self.len())
+            .filter(|&j| j != i.index() && self.alive[j])
+            .map(NodeId::from_index)
+            .collect();
+        let current = self.wiring.of(i).to_vec();
+        let ctx = WiringContext {
+            node: i,
+            k: self.k,
+            candidates: &candidates,
+            direct: self.costs.row(i.index()),
+            residual: &residual,
+            prefs: &self.prefs,
+            alive: &self.alive,
+            penalty: self.penalty,
+            current: &current,
+        };
+        let new = self.policy.wire(&ctx, &mut self.rng);
+        self.wiring.rewire(i, new)
+    }
+
+    /// One round-robin sweep over all alive nodes; returns the number of
+    /// nodes that changed their wiring.
+    pub fn sweep(&mut self) -> usize {
+        let mut changed = 0;
+        for i in self.alive_nodes() {
+            if self.rewire_node(i) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Run sweeps until a full sweep makes no change, or `max_sweeps`.
+    pub fn run_to_convergence(&mut self, max_sweeps: usize) -> ConvergenceReport {
+        let mut rewirings = Vec::new();
+        for _ in 0..max_sweeps {
+            let c = self.sweep();
+            rewirings.push(c);
+            if c == 0 {
+                return ConvergenceReport {
+                    converged: true,
+                    sweeps: rewirings.len(),
+                    rewirings,
+                };
+            }
+        }
+        ConvergenceReport {
+            converged: false,
+            sweeps: rewirings.len(),
+            rewirings,
+        }
+    }
+
+    /// Build the overlay incrementally: nodes join in id order, each
+    /// wiring once on arrival (the §5 simulation's construction), then the
+    /// population settles with `settle_sweeps` rounds of re-wiring — a
+    /// node that joined early *must* get later turns, or it would never
+    /// gain links toward later arrivals and the overlay would be a
+    /// backwards DAG. Nodes beyond `upto` stay out (dead).
+    pub fn incremental_build(&mut self, upto: usize) {
+        self.incremental_build_with_settle(upto, 2)
+    }
+
+    /// [`Game::incremental_build`] with an explicit settle phase length.
+    pub fn incremental_build_with_settle(&mut self, upto: usize, settle_sweeps: usize) {
+        for i in 0..self.len() {
+            self.alive[i] = i < upto;
+        }
+        // Nothing to join onto for node 0; start from node 1.
+        for i in 0..upto.min(self.len()) {
+            // Temporarily mark later nodes dead so candidates only include
+            // already-joined nodes.
+            for j in 0..self.len() {
+                self.alive[j] = j <= i;
+            }
+            self.rewire_node(NodeId::from_index(i));
+        }
+        for i in 0..self.len() {
+            self.alive[i] = i < upto;
+        }
+        for _ in 0..settle_sweeps {
+            if self.sweep() == 0 {
+                break;
+            }
+        }
+    }
+
+    /// The overlay graph as currently wired.
+    pub fn graph(&self) -> egoist_graph::DiGraph {
+        self.wiring.to_graph(&self.costs, &self.alive)
+    }
+
+    /// Individual cost `C_i(S)` of every alive node (dead nodes get NaN).
+    pub fn individual_costs(&self) -> Vec<f64> {
+        let g = self.graph();
+        (0..self.len())
+            .map(|i| {
+                if !self.alive[i] {
+                    return f64::NAN;
+                }
+                let sp = dijkstra(&g, NodeId::from_index(i));
+                node_cost_from_dists(
+                    NodeId::from_index(i),
+                    &sp.dist,
+                    &self.prefs,
+                    &self.alive,
+                    self.penalty,
+                )
+            })
+            .collect()
+    }
+
+    /// Cost of one node only.
+    pub fn individual_cost(&self, i: NodeId) -> f64 {
+        let g = self.graph();
+        let sp = dijkstra(&g, i);
+        node_cost_from_dists(i, &sp.dist, &self.prefs, &self.alive, self.penalty)
+    }
+
+    /// Social cost: sum of individual costs over alive nodes.
+    pub fn social_cost(&self) -> f64 {
+        self.individual_costs()
+            .into_iter()
+            .filter(|c| c.is_finite())
+            .sum()
+    }
+
+    /// Mean individual cost of the full-mesh overlay on the same costs —
+    /// the RON-style lower bound of Fig. 1.
+    pub fn full_mesh_mean_cost(&self) -> f64 {
+        let g = egoist_graph::DiGraph::full_mesh(&self.costs);
+        let d = apsp(&g);
+        let alive: Vec<usize> = (0..self.len()).filter(|&i| self.alive[i]).collect();
+        let mut total = 0.0;
+        for &i in &alive {
+            let row: Vec<f64> = (0..self.len()).map(|j| d.at(i, j)).collect();
+            total += node_cost_from_dists(
+                NodeId::from_index(i),
+                &row,
+                &self.prefs,
+                &self.alive,
+                self.penalty,
+            );
+        }
+        total / alive.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egoist_netsim::DelayModel;
+
+    fn delay_matrix(n_seed: u64) -> DistanceMatrix {
+        DelayModel::planetlab_50(n_seed).base().clone()
+    }
+
+    #[test]
+    fn exact_br_converges_where_theory_promises() {
+        // [20] guarantees pure Nash equilibria for uniform preferences;
+        // on small instances round-robin exact BR finds them.
+        let d = DistanceMatrix::from_fn(12, |i, j| ((i * 7 + j * 13) % 23 + 1) as f64);
+        let mut g = Game::new(d, 2, PolicyKind::ExactBestResponse, 1);
+        let report = g.run_to_convergence(60);
+        assert!(report.converged, "exact BR must converge: {report:?}");
+        assert_eq!(g.sweep(), 0, "equilibrium must be stable");
+    }
+
+    #[test]
+    fn br_dynamics_reach_cost_steady_state() {
+        // Real-valued delay instances "may have no equilibria at all"
+        // (§2.1), so vanilla BR keeps re-wiring — but the *cost* settles
+        // into a narrow band (the paper's "steady state", §4.3).
+        let d = delay_matrix(1);
+        let mut g = Game::new(d, 3, PolicyKind::BestResponse, 1);
+        let mut socials = Vec::new();
+        for _ in 0..20 {
+            g.sweep();
+            socials.push(g.social_cost());
+        }
+        let min = socials.iter().cloned().fold(f64::MAX, f64::min);
+        for s in &socials[10..] {
+            assert!(
+                *s < 1.15 * min,
+                "social cost should stay within 15% of its floor: {s} vs {min}"
+            );
+        }
+        // And it improves substantially over the first sweep.
+        assert!(socials[19] < 0.95 * socials[0]);
+    }
+
+    #[test]
+    fn epsilon_br_converges_on_static_costs() {
+        // The ε dead band restores convergence at a small social cost —
+        // the Fig. 3 center/right trade-off.
+        let d = delay_matrix(1);
+        let mut damped = Game::new(
+            d.clone(),
+            3,
+            PolicyKind::EpsilonBestResponse { epsilon: 0.05 },
+            1,
+        );
+        let report = damped.run_to_convergence(30);
+        assert!(report.converged, "BR(0.05) should converge: {report:?}");
+        let mut vanilla = Game::new(d, 3, PolicyKind::BestResponse, 1);
+        for _ in 0..report.sweeps {
+            vanilla.sweep();
+        }
+        // Cost penalty of damping stays modest.
+        assert!(damped.social_cost() < 1.2 * vanilla.social_cost());
+    }
+
+    #[test]
+    fn br_beats_random_and_regular_on_social_cost() {
+        let d = delay_matrix(2);
+        let mut br = Game::new(d.clone(), 3, PolicyKind::BestResponse, 2);
+        br.run_to_convergence(50);
+        let mut rnd = Game::new(d.clone(), 3, PolicyKind::Random, 2);
+        rnd.sweep();
+        let mut reg = Game::new(d, 3, PolicyKind::Regular, 2);
+        reg.sweep();
+        assert!(br.social_cost() < rnd.social_cost());
+        assert!(br.social_cost() < reg.social_cost());
+    }
+
+    #[test]
+    fn full_mesh_lower_bounds_br() {
+        let d = delay_matrix(3);
+        let mut br = Game::new(d, 4, PolicyKind::BestResponse, 3);
+        br.run_to_convergence(50);
+        let costs = br.individual_costs();
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        let mesh = br.full_mesh_mean_cost();
+        assert!(
+            mesh <= mean + 1e-9,
+            "full mesh {mesh} must lower-bound BR {mean}"
+        );
+        // And BR with k=4 should already be close (within ~2x).
+        assert!(mean < 2.0 * mesh, "BR too far from mesh: {mean} vs {mesh}");
+    }
+
+    #[test]
+    fn dead_nodes_take_no_turns_and_receive_no_links() {
+        let d = delay_matrix(4);
+        let mut g = Game::new(d, 3, PolicyKind::BestResponse, 4);
+        g.alive[7] = false;
+        g.run_to_convergence(30);
+        assert!(g.wiring.of(NodeId(7)).is_empty());
+        for i in g.alive_nodes() {
+            assert!(!g.wiring.of(i).contains(&NodeId(7)));
+        }
+    }
+
+    #[test]
+    fn incremental_build_wires_in_join_order() {
+        let d = delay_matrix(5);
+        let mut g = Game::new(d, 2, PolicyKind::BestResponse, 5);
+        g.incremental_build_with_settle(10, 0);
+        // Without settling: first joiner has no candidates; later ones
+        // have k links pointing strictly backwards.
+        assert!(g.wiring.of(NodeId(0)).is_empty());
+        assert_eq!(g.wiring.of(NodeId(9)).len(), 2);
+        for i in 10..50 {
+            assert!(!g.alive[i]);
+        }
+    }
+
+    #[test]
+    fn incremental_build_settling_connects_the_overlay() {
+        use egoist_graph::connectivity::strongly_connected;
+        let d = delay_matrix(8);
+        let mut g = Game::new(d, 2, PolicyKind::BestResponse, 8);
+        g.incremental_build(12);
+        let members: Vec<NodeId> = (0..12).map(NodeId::from_index).collect();
+        assert!(
+            strongly_connected(&g.graph(), &members),
+            "settled incremental BR overlay must be strongly connected"
+        );
+        assert_eq!(g.wiring.of(NodeId(0)).len(), 2, "early joiners re-wire");
+    }
+
+    #[test]
+    fn rewire_counts_stabilize_to_zero_at_equilibrium() {
+        let d = delay_matrix(6);
+        let mut g = Game::new(d, 2, PolicyKind::EpsilonBestResponse { epsilon: 0.05 }, 6);
+        let report = g.run_to_convergence(60);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(*report.rewirings.last().unwrap(), 0);
+        // One more sweep stays at equilibrium.
+        assert_eq!(g.sweep(), 0);
+    }
+
+    #[test]
+    fn closest_policy_picks_nearby_nodes() {
+        let d = delay_matrix(7);
+        let mut g = Game::new(d.clone(), 3, PolicyKind::Closest, 7);
+        g.sweep();
+        for i in 0..50 {
+            let vi = NodeId::from_index(i);
+            let chosen = g.wiring.of(vi);
+            let max_chosen = chosen
+                .iter()
+                .map(|j| d.get(vi, *j))
+                .fold(f64::MIN, f64::max);
+            // No non-chosen candidate is strictly closer than every chosen.
+            let closer_than_all = (0..50)
+                .filter(|&j| j != i && !chosen.contains(&NodeId::from_index(j)))
+                .filter(|&j| d.at(i, j) < max_chosen - 1e-12)
+                .count();
+            assert!(
+                closer_than_all <= 2,
+                "k-Closest at node {i} skipped nearer nodes"
+            );
+        }
+    }
+}

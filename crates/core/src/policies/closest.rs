@@ -1,0 +1,92 @@
+//! k-Closest: "each node selects its k neighbors to be the nodes with the
+//! minimum link cost (e.g., minimum delay from it, maximum bandwidth,
+//! etc.)." (§3.2)
+//!
+//! The policy is myopic: it looks only at the first hop. That is exactly
+//! why it wins at tiny `k` on delay (nearby nodes are usually fine first
+//! hops) but "fails to predict anything beyond the immediate neighbor" for
+//! the load metric (§4.2) — and the shape our reproduction must preserve.
+//!
+//! For bandwidth metrics the caller supplies `direct` as a cost to
+//! *minimize* (e.g. negated bandwidth), per the convention documented on
+//! [`WiringContext`].
+
+use super::{Policy, WiringContext};
+use egoist_graph::NodeId;
+use rand::rngs::StdRng;
+
+/// The k-Closest policy.
+pub struct KClosest;
+
+impl Policy for KClosest {
+    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+        let k = ctx.effective_k();
+        let mut pool: Vec<NodeId> = ctx.candidates.to_vec();
+        // Sort by direct cost, tie-break on id for determinism.
+        pool.sort_by(|a, b| {
+            ctx.direct[a.index()]
+                .total_cmp(&ctx.direct[b.index()])
+                .then(a.cmp(b))
+        });
+        pool.truncate(k);
+        pool
+    }
+
+    fn name(&self) -> &'static str {
+        "k-Closest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::CtxParts;
+    use crate::wiring::Wiring;
+    use egoist_graph::DistanceMatrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_minimum_direct_costs() {
+        let d = DistanceMatrix::from_fn(6, |i, j| {
+            if i == 0 {
+                (j * 10) as f64
+            } else {
+                1.0
+            }
+        });
+        let w = Wiring::empty(6);
+        let p = CtxParts::build(&d, &w, NodeId(0), 3);
+        let n = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(0));
+        assert_eq!(n, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn ignores_everything_beyond_first_hop() {
+        // Node 1 is nearest but a dead end; k-Closest picks it anyway.
+        let mut d = DistanceMatrix::off_diagonal(4, 10.0);
+        d.set(NodeId(0), NodeId(1), 1.0);
+        let w = Wiring::empty(4);
+        let p = CtxParts::build(&d, &w, NodeId(0), 1);
+        let n = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(0));
+        assert_eq!(n, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn deterministic_without_rng() {
+        let d = DistanceMatrix::from_fn(8, |i, j| ((i * 5 + j * 7) % 11 + 1) as f64);
+        let w = Wiring::empty(8);
+        let p = CtxParts::build(&d, &w, NodeId(2), 4);
+        let a = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(1));
+        let b = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tie_break_is_by_id() {
+        let d = DistanceMatrix::off_diagonal(5, 3.0);
+        let w = Wiring::empty(5);
+        let p = CtxParts::build(&d, &w, NodeId(4), 2);
+        let n = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(0));
+        assert_eq!(n, vec![NodeId(0), NodeId(1)]);
+    }
+}

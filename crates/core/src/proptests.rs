@@ -1,0 +1,164 @@
+//! Cross-module property tests for the SNS core.
+
+use crate::cost::Preferences;
+use crate::policies::best_response::{BestResponse, BrInstance};
+use crate::policies::{PolicyKind, WiringContext};
+use crate::wiring::Wiring;
+use egoist_graph::apsp::apsp;
+use egoist_graph::{DistanceMatrix, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random positive cost matrix of size n.
+fn arb_matrix(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    (4usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(1u32..200u32, n * n).prop_map(move |v| {
+            DistanceMatrix::from_fn(n, |i, j| v[i * n + j] as f64)
+        })
+    })
+}
+
+/// A random wiring with degree ≤ 3 (from a hash of the matrix for
+/// determinism inside the property).
+fn ring_wiring(n: usize) -> Wiring {
+    let mut w = Wiring::empty(n);
+    for i in 0..n {
+        w.rewire(NodeId::from_index(i), vec![NodeId::from_index((i + 1) % n)]);
+    }
+    w
+}
+
+struct Built {
+    candidates: Vec<NodeId>,
+    direct: Vec<f64>,
+    residual: DistanceMatrix,
+    prefs: Preferences,
+    alive: Vec<bool>,
+    penalty: f64,
+    current: Vec<NodeId>,
+}
+
+fn build(d: &DistanceMatrix, w: &Wiring, node: NodeId) -> Built {
+    let n = d.len();
+    let alive = vec![true; n];
+    let residual = apsp(&w.residual_graph(node, d, &alive));
+    Built {
+        candidates: (0..n)
+            .map(NodeId::from_index)
+            .filter(|&j| j != node)
+            .collect(),
+        direct: d.row(node.index()).to_vec(),
+        residual,
+        prefs: Preferences::uniform(n),
+        alive,
+        penalty: crate::cost::disconnection_penalty(d),
+        current: w.of(node).to_vec(),
+    }
+}
+
+fn ctx<'a>(b: &'a Built, node: NodeId, k: usize) -> WiringContext<'a> {
+    WiringContext {
+        node,
+        k,
+        candidates: &b.candidates,
+        direct: &b.direct,
+        residual: &b.residual,
+        prefs: &b.prefs,
+        alive: &b.alive,
+        penalty: b.penalty,
+        current: &b.current,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Local-search BR is within 5% of the exhaustive optimum (the §4.1
+    /// quality claim) on small random instances.
+    #[test]
+    fn local_search_within_five_percent(d in arb_matrix(9), k in 1usize..4) {
+        let w = ring_wiring(d.len());
+        let b = build(&d, &w, NodeId(0));
+        let c = ctx(&b, NodeId(0), k);
+        let inst = BrInstance::build(&c);
+        let kk = k.min(c.candidates.len());
+        let (_, c_exact) = inst.exhaustive(kk, &[], 1_000_000).expect("budget");
+        let (_, c_ls) = BestResponse::local_search().solve(&c);
+        prop_assert!(c_ls <= c_exact * 1.05 + 1e-9,
+            "local search {c_ls} vs optimal {c_exact}");
+    }
+
+    /// Every policy returns ≤ k distinct alive non-self neighbors.
+    #[test]
+    fn policies_return_wellformed_wirings(d in arb_matrix(10), k in 1usize..5) {
+        let w = ring_wiring(d.len());
+        let b = build(&d, &w, NodeId(1));
+        let c = ctx(&b, NodeId(1), k);
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [
+            PolicyKind::Random,
+            PolicyKind::Closest,
+            PolicyKind::Regular,
+            PolicyKind::BestResponse,
+            PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
+            PolicyKind::HybridBestResponse { k2: 2 },
+        ] {
+            let policy = kind.instantiate();
+            let out = policy.wire(&c, &mut rng);
+            prop_assert!(out.len() <= k.max(2), "{} overshot k", policy.name());
+            let mut s = out.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), out.len(), "duplicates from {}", policy.name());
+            prop_assert!(!out.contains(&NodeId(1)), "self link from {}", policy.name());
+        }
+    }
+
+    /// BR cost is monotone non-increasing in k (more links never hurt).
+    #[test]
+    fn br_cost_monotone_in_k(d in arb_matrix(9)) {
+        let w = ring_wiring(d.len());
+        let b = build(&d, &w, NodeId(0));
+        let mut prev = f64::INFINITY;
+        for k in 1..5.min(d.len() - 1) {
+            let c = ctx(&b, NodeId(0), k);
+            let (_, cost) = BestResponse::local_search().solve(&c);
+            prop_assert!(cost <= prev + 1e-9);
+            prev = cost;
+        }
+    }
+
+    /// The BR instance evaluation is monotone: supersets never cost more.
+    #[test]
+    fn br_eval_superset_monotone(d in arb_matrix(9)) {
+        let w = ring_wiring(d.len());
+        let b = build(&d, &w, NodeId(0));
+        let c = ctx(&b, NodeId(0), 3);
+        let inst = BrInstance::build(&c);
+        let m = inst.cand.len();
+        let small: Vec<usize> = vec![0, 1.min(m - 1)];
+        let big: Vec<usize> = (0..m.min(5)).collect();
+        prop_assert!(inst.eval(&big) <= inst.eval(&small) + 1e-9);
+    }
+
+    /// Social cost of a converged BR game never exceeds the all-random
+    /// baseline, and the game engine's rewire turns keep the wiring
+    /// well-formed.
+    #[test]
+    fn game_invariants(seed in 0u64..30) {
+        let d = DistanceMatrix::from_fn(12, |i, j| {
+            (((i * 31 + j * 17 + seed as usize * 7) % 97) + 1) as f64
+        });
+        let mut game = crate::game::Game::new(d.clone(), 3, PolicyKind::BestResponse, seed);
+        game.run_to_convergence(30);
+        for i in 0..12 {
+            let s = game.wiring.of(NodeId::from_index(i));
+            prop_assert!(s.len() <= 3);
+            prop_assert!(!s.contains(&NodeId::from_index(i)));
+        }
+        let mut rnd = crate::game::Game::new(d, 3, PolicyKind::Random, seed);
+        rnd.sweep();
+        prop_assert!(game.social_cost() <= rnd.social_cost() + 1e-9);
+    }
+}

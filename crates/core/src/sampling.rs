@@ -1,0 +1,185 @@
+//! Scalability via sampling (§5).
+//!
+//! Computing a best response over all `n` candidates is expensive at
+//! scale, so EGOIST computes BR over a *sample* of `m` candidates:
+//!
+//! * **Unbiased random sampling** — `m` uniform picks.
+//! * **Topology-based biased sampling** — draw `m′ > m` random samples,
+//!   rank them by
+//!   `b_ij = |F(v_j)| / Σ_{u ∈ F(v_j)} d(v_i, u)`
+//!   where `F(v_j)` is `v_j`'s out-neighborhood of radius `r` hops, and
+//!   keep the top `m`. "An ideal candidate for `v_i` has a large
+//!   neighborhood of nodes, many of which are relatively close to `v_i`."
+
+use egoist_graph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Draw `m` distinct uniform samples from `candidates`.
+pub fn random_sample(candidates: &[NodeId], m: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let mut pool: Vec<NodeId> = candidates.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(m.min(candidates.len()));
+    pool
+}
+
+/// Size and members of the radius-`r` out-neighborhood `F(v)` in `g`
+/// (excluding `v` itself). Hop-count radius, costs ignored.
+pub fn neighborhood(g: &DiGraph, v: NodeId, r: usize) -> Vec<NodeId> {
+    let mut dist = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        if dist[u.index()] >= r {
+            continue;
+        }
+        for e in g.out_edges(u) {
+            if dist[e.to.index()] == usize::MAX {
+                dist[e.to.index()] = dist[u.index()] + 1;
+                out.push(e.to);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    out
+}
+
+/// The ranking function `b_ij` for candidate `j` from the perspective of a
+/// newcomer whose measured direct distances are `direct` (dense by node
+/// index). Returns 0 for an empty neighborhood.
+pub fn rank(g: &DiGraph, j: NodeId, r: usize, direct: &[f64]) -> f64 {
+    let f = neighborhood(g, j, r);
+    if f.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = f
+        .iter()
+        .map(|u| direct[u.index()].max(1e-9))
+        .filter(|d| d.is_finite())
+        .sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    f.len() as f64 / denom
+}
+
+/// Topology-based biased sampling: draw `m_prime` random candidates, keep
+/// the `m` with the highest `b_ij`.
+pub fn topology_biased_sample(
+    candidates: &[NodeId],
+    m: usize,
+    m_prime: usize,
+    r: usize,
+    residual: &DiGraph,
+    direct: &[f64],
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let pre = random_sample(candidates, m_prime.max(m), rng);
+    let mut ranked: Vec<(f64, NodeId)> = pre
+        .into_iter()
+        .map(|j| (rank(residual, j, r, direct), j))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(m.min(candidates.len()));
+    ranked.into_iter().map(|(_, j)| j).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    /// Star: node 0 reaches everyone in 1 hop; leaves reach nobody.
+    fn star(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for j in 1..n {
+            g.add_edge(NodeId(0), NodeId::from_index(j), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn random_sample_is_distinct_and_bounded() {
+        let c = ids(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = random_sample(&c, 8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 8);
+        assert_eq!(random_sample(&c, 50, &mut rng).len(), 20);
+    }
+
+    #[test]
+    fn neighborhood_radius_one_is_out_neighbors() {
+        let g = star(6);
+        assert_eq!(neighborhood(&g, NodeId(0), 1).len(), 5);
+        assert!(neighborhood(&g, NodeId(3), 1).is_empty());
+    }
+
+    #[test]
+    fn neighborhood_radius_two_expands() {
+        // Chain 0→1→2→3.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        assert_eq!(neighborhood(&g, NodeId(0), 1).len(), 1);
+        assert_eq!(neighborhood(&g, NodeId(0), 2).len(), 2);
+        assert_eq!(neighborhood(&g, NodeId(0), 3).len(), 3);
+    }
+
+    #[test]
+    fn rank_prefers_hubs_near_the_source() {
+        let g = star(8);
+        let direct = vec![1.0; 8];
+        let hub = rank(&g, NodeId(0), 2, &direct);
+        let leaf = rank(&g, NodeId(3), 2, &direct);
+        assert!(hub > leaf, "hub {hub} must outrank leaf {leaf}");
+    }
+
+    #[test]
+    fn rank_penalizes_distant_neighborhoods() {
+        let g = star(8);
+        let near = vec![1.0; 8];
+        let far = vec![100.0; 8];
+        assert!(rank(&g, NodeId(0), 2, &near) > rank(&g, NodeId(0), 2, &far));
+    }
+
+    #[test]
+    fn biased_sampling_finds_the_hub() {
+        // Two hubs (0 and 1) among 30 nodes; biased sampling with m=2 over
+        // m'=20 must pick hubs with overwhelming probability.
+        let n = 30;
+        let mut g = DiGraph::new(n);
+        for j in 2..n {
+            g.add_edge(NodeId(0), NodeId::from_index(j), 1.0);
+            g.add_edge(NodeId(1), NodeId::from_index(j), 1.0);
+        }
+        let direct = vec![1.0; n];
+        let c = ids(n as u32);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = topology_biased_sample(&c, 2, 20, 2, &g, &direct, &mut rng);
+        assert!(
+            s.contains(&NodeId(0)) || s.contains(&NodeId(1)),
+            "expected a hub in {s:?}"
+        );
+    }
+
+    #[test]
+    fn biased_sampling_is_deterministic() {
+        let g = star(12);
+        let direct = vec![2.0; 12];
+        let c = ids(12);
+        let a = topology_biased_sample(&c, 4, 8, 2, &g, &direct, &mut StdRng::seed_from_u64(3));
+        let b = topology_biased_sample(&c, 4, 8, 2, &g, &direct, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,119 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The paper reports "the mean of all n = 50 individual costs, as well as
+//! the 95th-percentile confidence interval" (§4.2). NaN entries (dead
+//! nodes) are skipped throughout.
+
+/// Mean of finite values; NaN when none.
+pub fn mean(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Sample standard deviation of finite values.
+pub fn stddev(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(&v);
+    let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the 95% confidence interval of the mean
+/// (normal approximation, `1.96 · s/√n`).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.len() < 2 {
+        return 0.0;
+    }
+    1.96 * stddev(&v) / (v.len() as f64).sqrt()
+}
+
+/// Mean together with its 95% CI half-width.
+pub fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), ci95_half_width(xs))
+}
+
+/// `q`-th percentile (0..=100) of finite values, linear interpolation.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(f64::total_cmp);
+    let pos = (q / 100.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Ratio of two means (`a/b`), NaN-safe — the "normalized cost" the
+/// figures plot.
+pub fn normalized(a: &[f64], b: &[f64]) -> f64 {
+    let mb = mean(b);
+    if mb == 0.0 {
+        return f64::NAN;
+    }
+    mean(a) / mb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_skips_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert!(mean(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        // Sample std of [2, 4, 4, 4, 5, 5, 7, 9] = ~2.138.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = [1.0, 2.0, 3.0, 4.0];
+        let big: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        assert!(ci95_half_width(&big) < ci95_half_width(&small));
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+    }
+
+    #[test]
+    fn normalized_ratio() {
+        assert!((normalized(&[2.0, 4.0], &[1.0, 3.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ci_tuple() {
+        let (m, ci) = mean_ci(&[1.0, 2.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!(ci > 0.0);
+    }
+}

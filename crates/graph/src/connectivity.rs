@@ -1,0 +1,131 @@
+//! Reachability and connectivity predicates.
+
+use crate::graph::DiGraph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// Set of nodes reachable from `source` by directed paths (including
+/// `source` itself), ignoring edge costs.
+pub fn reachable_from(g: &DiGraph, source: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for e in g.out_edges(u) {
+            if !seen[e.to.index()] {
+                seen[e.to.index()] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    seen
+}
+
+/// True when every node in `members` can reach every other node in
+/// `members` by directed paths. (Kosaraju-style double BFS from one
+/// member — sufficient for the single-SCC test.)
+pub fn strongly_connected(g: &DiGraph, members: &[NodeId]) -> bool {
+    if members.len() <= 1 {
+        return true;
+    }
+    let start = members[0];
+    let fwd = reachable_from(g, start);
+    if members.iter().any(|m| !fwd[m.index()]) {
+        return false;
+    }
+    let bwd = reachable_from(&g.reversed(), start);
+    members.iter().all(|m| bwd[m.index()])
+}
+
+/// True when the *undirected* version of the graph connects all `members`.
+/// (The paper's k-Random/k-Closest "connected" check before enforcing a
+/// cycle treats wires as usable in either direction for connectivity
+/// purposes; routing still respects direction.)
+pub fn weakly_connected(g: &DiGraph, members: &[NodeId]) -> bool {
+    if members.len() <= 1 {
+        return true;
+    }
+    let mut und = DiGraph::new(g.len());
+    for (a, b, c) in g.edges() {
+        und.add_edge(a, b, c);
+        und.add_edge(b, a, c);
+    }
+    let seen = reachable_from(&und, members[0]);
+    members.iter().all(|m| seen[m.index()])
+}
+
+/// Fraction of ordered alive pairs `(i, j)`, `i ≠ j`, with a directed path
+/// `i → j`. 1.0 for a strongly connected overlay.
+pub fn pairwise_reachability(g: &DiGraph, members: &[NodeId]) -> f64 {
+    let m = members.len();
+    if m <= 1 {
+        return 1.0;
+    }
+    let mut ok = 0usize;
+    for &i in members {
+        let seen = reachable_from(g, i);
+        for &j in members {
+            if i != j && seen[j.index()] {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / (m * (m - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn directed_line_is_weak_not_strong() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let all = ids(&[0, 1, 2]);
+        assert!(weakly_connected(&g, &all));
+        assert!(!strongly_connected(&g, &all));
+    }
+
+    #[test]
+    fn ring_is_strong() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(0), 1.0);
+        assert!(strongly_connected(&g, &ids(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn membership_subset_only_checked() {
+        // Node 2 is isolated, but we only ask about {0, 1}.
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(0), 1.0);
+        assert!(strongly_connected(&g, &ids(&[0, 1])));
+        assert!(!strongly_connected(&g, &ids(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn pairwise_reachability_fraction() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        // Reachable ordered pairs: 0→1, 0→2, 1→2 of 6.
+        let frac = pairwise_reachability(&g, &ids(&[0, 1, 2]));
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_trivially_connected() {
+        let g = DiGraph::new(1);
+        assert!(strongly_connected(&g, &ids(&[0])));
+        assert!(weakly_connected(&g, &ids(&[0])));
+        assert_eq!(pairwise_reachability(&g, &ids(&[0])), 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Connectivity cycles.
+//!
+//! Two uses in the paper:
+//!
+//! 1. §3.2 — "if the resulting graph is not connected, we enforce a cycle"
+//!    for k-Random and k-Closest.
+//! 2. §3.3 — HybridBR's connectivity backbone: each node donates `k2` links
+//!    and the system builds `k2/2` **bidirectional cycles** from id offsets;
+//!    node `i` connects to `i ± offset (mod n)` so the cycles survive churn
+//!    with simple local repairs.
+
+use crate::graph::DiGraph;
+use crate::matrix::DistanceMatrix;
+use crate::types::NodeId;
+
+/// Edges of the identity cycle `0 → 1 → … → n−1 → 0` restricted to `alive`
+/// members (the cycle skips dead nodes, exactly the §3.3 repair rule where
+/// `v_n` disconnects from `v_1` to splice in `v_{n+1}`).
+pub fn ring_edges(alive: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let m = alive.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<NodeId> = alive.to_vec();
+    sorted.sort_unstable();
+    (0..m)
+        .map(|i| (sorted[i], sorted[(i + 1) % m]))
+        .collect()
+}
+
+/// The donated-link backbone of HybridBR: `k2/2` bidirectional cycles.
+///
+/// For each of the `k2/2` offsets `o`, every alive node (by *rank* in the
+/// sorted alive set) connects to the nodes `rank ± o` — i.e. each cycle
+/// contributes two directed edges per node. Offsets are chosen as
+/// `1, 1 + ⌊m/(c+1)⌋, …` to spread the chords around the ring, mirroring
+/// the k-Regular offset recipe.
+pub fn backbone_edges(alive: &[NodeId], k2: usize) -> Vec<(NodeId, NodeId)> {
+    let m = alive.len();
+    let cycles = k2 / 2;
+    if m < 2 || cycles == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<NodeId> = alive.to_vec();
+    sorted.sort_unstable();
+    let mut out = Vec::with_capacity(2 * cycles * m);
+    for c in 0..cycles {
+        // First cycle is the unit ring; later ones use spread offsets.
+        let offset = if c == 0 {
+            1
+        } else {
+            (1 + c * m.div_ceil(cycles + 1)).min(m - 1).max(1)
+        };
+        for r in 0..m {
+            let fwd = sorted[(r + offset) % m];
+            let bwd = sorted[(r + m - offset % m) % m];
+            let me = sorted[r];
+            if fwd != me {
+                out.push((me, fwd));
+            }
+            if bwd != me {
+                out.push((me, bwd));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
+    out.dedup();
+    out
+}
+
+/// Add the identity ring over `alive` to `g` with costs from `d`
+/// (the §3.2 "enforce a cycle" fix-up).
+pub fn enforce_cycle(g: &mut DiGraph, d: &DistanceMatrix, alive: &[NodeId]) {
+    for (a, b) in ring_edges(alive) {
+        g.add_edge(a, b, d.get(a, b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::strongly_connected;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn ring_edges_wrap_around() {
+        let e = ring_edges(&ids(&[0, 1, 2, 3]));
+        assert_eq!(
+            e,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_skips_dead_nodes() {
+        let e = ring_edges(&ids(&[5, 1, 9]));
+        assert_eq!(
+            e,
+            vec![
+                (NodeId(1), NodeId(5)),
+                (NodeId(5), NodeId(9)),
+                (NodeId(9), NodeId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn ring_of_one_or_zero_is_empty() {
+        assert!(ring_edges(&ids(&[3])).is_empty());
+        assert!(ring_edges(&[]).is_empty());
+    }
+
+    #[test]
+    fn backbone_k2_2_is_bidirectional_ring() {
+        let alive = ids(&[0, 1, 2, 3, 4]);
+        let edges = backbone_edges(&alive, 2);
+        // Each node gets forward and backward unit-ring edges: 2 per node.
+        assert_eq!(edges.len(), 10);
+        let mut g = DiGraph::new(5);
+        for (a, b) in edges {
+            g.add_edge(a, b, 1.0);
+        }
+        assert!(strongly_connected(&g, &alive));
+        // Bidirectionality.
+        assert!(g.has_edge(NodeId(0), NodeId(1)) && g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn backbone_higher_k2_adds_chords() {
+        let alive: Vec<NodeId> = (0..12).map(NodeId).collect();
+        let e2 = backbone_edges(&alive, 2).len();
+        let e4 = backbone_edges(&alive, 4).len();
+        assert!(e4 > e2, "k2=4 must add a second cycle ({e4} vs {e2})");
+        let mut g = DiGraph::new(12);
+        for (a, b) in backbone_edges(&alive, 4) {
+            g.add_edge(a, b, 1.0);
+        }
+        assert!(strongly_connected(&g, &alive));
+    }
+
+    #[test]
+    fn enforce_cycle_connects_disconnected_graph() {
+        let d = DistanceMatrix::off_diagonal(4, 1.0);
+        let mut g = DiGraph::new(4);
+        let alive = ids(&[0, 1, 2, 3]);
+        assert!(!strongly_connected(&g, &alive));
+        enforce_cycle(&mut g, &d, &alive);
+        assert!(strongly_connected(&g, &alive));
+    }
+}

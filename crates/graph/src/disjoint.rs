@@ -1,0 +1,119 @@
+//! Edge-disjoint path counting (Fig. 11).
+//!
+//! §6.2 measures "the number of disjoint paths between the source node and
+//! target node when the source establishes k parallel connections". By
+//! Menger's theorem the maximum number of edge-disjoint directed paths
+//! equals the max-flow with unit edge capacities.
+
+use crate::graph::DiGraph;
+use crate::maxflow::FlowNetwork;
+use crate::types::NodeId;
+
+/// Number of edge-disjoint directed paths `s → t`.
+pub fn edge_disjoint_paths(g: &DiGraph, s: NodeId, t: NodeId) -> usize {
+    if s == t {
+        return 0;
+    }
+    let mut unit = DiGraph::new(g.len());
+    for (from, to, _) in g.edges() {
+        unit.add_edge(from, to, 1.0);
+    }
+    let f = FlowNetwork::from_graph(&unit).max_flow(s, t);
+    f.round() as usize
+}
+
+/// Number of vertex-disjoint directed paths `s → t` (node-splitting
+/// construction: each node v becomes v_in → v_out with unit capacity).
+/// Disjoint overlay paths that avoid shared *relays* matter for the
+/// real-time-traffic application where a congested relay hurts all copies.
+pub fn vertex_disjoint_paths(g: &DiGraph, s: NodeId, t: NodeId) -> usize {
+    if s == t {
+        return 0;
+    }
+    let n = g.len();
+    // Node v → indices: v_in = v, v_out = v + n.
+    let mut split = DiGraph::new(2 * n);
+    for v in 0..n {
+        let cap = if v == s.index() || v == t.index() {
+            // Endpoints may carry any number of paths.
+            1e9
+        } else {
+            1.0
+        };
+        split.add_edge(NodeId::from_index(v), NodeId::from_index(v + n), cap);
+    }
+    for (from, to, _) in g.edges() {
+        split.add_edge(
+            NodeId::from_index(from.index() + n),
+            NodeId::from_index(to.index()),
+            1.0,
+        );
+    }
+    let f = FlowNetwork::from_graph(&split)
+        .max_flow(NodeId::from_index(s.index() + n), NodeId::from_index(t.index()));
+    f.round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_disjoint_routes() -> DiGraph {
+        // 0→1→3 and 0→2→3.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 9.0);
+        g.add_edge(NodeId(1), NodeId(3), 9.0);
+        g.add_edge(NodeId(0), NodeId(2), 9.0);
+        g.add_edge(NodeId(2), NodeId(3), 9.0);
+        g
+    }
+
+    #[test]
+    fn counts_two_parallel_routes() {
+        let g = two_disjoint_routes();
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(3)), 2);
+        assert_eq!(vertex_disjoint_paths(&g, NodeId(0), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn shared_relay_reduces_vertex_disjointness() {
+        // 0→1→3, 0→2→3 plus both routes forced through relay 4:
+        // 0→4 (x2 impossible: one node), 4→3.
+        let mut g = DiGraph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(4), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(4), 1.0);
+        g.add_edge(NodeId(4), NodeId(3), 1.0);
+        // Only one edge into 3, so edge-disjoint is 1 as well here;
+        // add a second edge 4→3 alternative via node 1.
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(3)), 1);
+        assert_eq!(vertex_disjoint_paths(&g, NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn edge_disjoint_can_exceed_vertex_disjoint() {
+        // Two edge-disjoint paths sharing the middle vertex 2:
+        // 0→1→2→3→5 and 0→2 ... wait, construct explicitly:
+        // 0→1→2→4→5 and 0→3→2→6→5: share vertex 2 only.
+        let mut g = DiGraph::new(7);
+        for (a, b) in [(0, 1), (1, 2), (2, 4), (4, 5), (0, 3), (3, 2), (2, 6), (6, 5)] {
+            g.add_edge(NodeId(a), NodeId(b), 1.0);
+        }
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(5)), 2);
+        assert_eq!(vertex_disjoint_paths(&g, NodeId(0), NodeId(5)), 1);
+    }
+
+    #[test]
+    fn no_path_means_zero() {
+        let g = DiGraph::new(3);
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(2)), 0);
+        assert_eq!(vertex_disjoint_paths(&g, NodeId(0), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn same_node_zero_paths() {
+        let g = two_disjoint_routes();
+        assert_eq!(edge_disjoint_paths(&g, NodeId(1), NodeId(1)), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Efficiency metric of §4.4.
+//!
+//! Under churn the overlay can disconnect, making average distance
+//! ill-defined, so the paper switches to Efficiency:
+//!
+//! > the Efficiency `ε_ij` between node `i` and `j` is inversely
+//! > proportional to the shortest communication distance `d_ij` when `i`
+//! > and `j` are connected. If there is no path, `ε_ij = 0`. The Efficiency
+//! > of node `i` is `ε_i = (1/(n−1)) Σ_{j≠i} ε_ij`.
+
+use crate::dijkstra::dijkstra;
+use crate::graph::DiGraph;
+use crate::types::NodeId;
+
+/// Per-node efficiency `ε_i` of node `i` with respect to the destination set
+/// `targets` (usually the alive nodes, excluding `i`). The `n − 1`
+/// normalizer is the number of *targets considered*, matching the paper's
+/// fixed-population formula.
+pub fn node_efficiency(g: &DiGraph, i: NodeId, targets: &[NodeId]) -> f64 {
+    let others: Vec<NodeId> = targets.iter().copied().filter(|&t| t != i).collect();
+    if others.is_empty() {
+        return 0.0;
+    }
+    let sp = dijkstra(g, i);
+    let mut sum = 0.0;
+    for &j in &others {
+        let d = sp.dist[j.index()];
+        if d.is_finite() && d > 0.0 {
+            sum += 1.0 / d;
+        } else if d == 0.0 {
+            // Coincident nodes (zero measured delay): count as the maximum
+            // efficiency contribution of 1 per unit distance-floor.
+            sum += 1.0;
+        }
+    }
+    sum / others.len() as f64
+}
+
+/// Mean efficiency over all `members`.
+pub fn mean_efficiency(g: &DiGraph, members: &[NodeId]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = members
+        .iter()
+        .map(|&i| node_efficiency(g, i, members))
+        .sum();
+    total / members.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn disconnected_pair_contributes_zero() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        let eff = node_efficiency(&g, NodeId(0), &ids(&[0, 1, 2]));
+        // Only j=1 reachable with d=2 → (1/2)/2 targets = 0.25.
+        assert!((eff - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_connected_unit_ring() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(0), 1.0);
+        assert!((mean_efficiency(&g, &ids(&[0, 1])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_is_more_efficient() {
+        let mut near = DiGraph::new(2);
+        near.add_edge(NodeId(0), NodeId(1), 1.0);
+        let mut far = DiGraph::new(2);
+        far.add_edge(NodeId(0), NodeId(1), 10.0);
+        let e_near = node_efficiency(&near, NodeId(0), &ids(&[0, 1]));
+        let e_far = node_efficiency(&far, NodeId(0), &ids(&[0, 1]));
+        assert!(e_near > e_far);
+    }
+
+    #[test]
+    fn empty_targets_zero() {
+        let g = DiGraph::new(1);
+        assert_eq!(node_efficiency(&g, NodeId(0), &[NodeId(0)]), 0.0);
+        assert_eq!(mean_efficiency(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_efficiency_of_directed_line() {
+        // 0→1→2 with unit costs; node 2 reaches nobody.
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let members = ids(&[0, 1, 2]);
+        // ε_0 = (1/1 + 1/2)/2 = 0.75; ε_1 = (0 + 1)/2 = 0.5; ε_2 = 0.
+        let m = mean_efficiency(&g, &members);
+        assert!((m - (0.75 + 0.5) / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Maximum flow (Dinic's algorithm).
+//!
+//! Fig. 10's "peers allow multipath redirections" series is the theoretical
+//! maximum available bandwidth when the total usable bandwidth between a
+//! source and target "becomes equal to a max-flow from v_i to v_j" (§6.1).
+//! Unit-capacity max-flow also counts edge-disjoint paths (Fig. 11); see
+//! [`crate::disjoint`].
+
+use crate::graph::DiGraph;
+use crate::types::NodeId;
+
+#[derive(Clone, Debug)]
+struct FlowEdge {
+    to: usize,
+    rev: usize, // index of the reverse edge in adj[to]
+    cap: f64,
+}
+
+/// Residual flow network built from a [`DiGraph`] whose edge costs are
+/// interpreted as capacities.
+pub struct FlowNetwork {
+    adj: Vec<Vec<FlowEdge>>,
+}
+
+impl FlowNetwork {
+    /// Build a flow network from `g`, treating each edge cost as capacity.
+    /// Infinite capacities are clamped to a large finite value so the
+    /// algorithm terminates.
+    pub fn from_graph(g: &DiGraph) -> Self {
+        const CAP_CLAMP: f64 = 1e15;
+        let mut net = FlowNetwork {
+            adj: vec![Vec::new(); g.len()],
+        };
+        for (from, to, cost) in g.edges() {
+            let cap = if cost.is_finite() { cost } else { CAP_CLAMP };
+            net.add_edge(from.index(), to.index(), cap.max(0.0));
+        }
+        net
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let rev_from = self.adj[to].len();
+        let rev_to = self.adj[from].len();
+        self.adj[from].push(FlowEdge {
+            to,
+            rev: rev_from,
+            cap,
+        });
+        self.adj[to].push(FlowEdge {
+            to: from,
+            rev: rev_to,
+            cap: 0.0,
+        });
+    }
+
+    /// BFS level graph; returns `None` if `t` is unreachable.
+    fn levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in &self.adj[u] {
+                if e.cap > 1e-12 && level[e.to] < 0 {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        if level[t] < 0 {
+            None
+        } else {
+            Some(level)
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while iter[u] < self.adj[u].len() {
+            let (to, cap, rev) = {
+                let e = &self.adj[u][iter[u]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 1e-12 && level[to] == level[u] + 1 {
+                let d = self.dfs(to, t, pushed.min(cap), level, iter);
+                if d > 1e-12 {
+                    self.adj[u][iter[u]].cap -= d;
+                    self.adj[to][rev].cap += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Maximum `s → t` flow (Dinic). Consumes residual capacity, so call on
+    /// a fresh network per query.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
+        let (s, t) = (s.index(), t.index());
+        if s == t {
+            return f64::INFINITY;
+        }
+        let mut flow = 0.0;
+        while let Some(level) = self.levels(s, t) {
+            let mut iter = vec![0usize; self.adj.len()];
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY, &level, &mut iter);
+                if f <= 1e-12 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Max-flow between one pair on a capacity graph (edge cost = capacity).
+pub fn max_flow(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
+    FlowNetwork::from_graph(g).max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two disjoint unit paths → flow 2.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        assert!((max_flow(&g, NodeId(0), NodeId(3)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        // 0→1 cap 10, 1→2 cap 3.
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 10.0);
+        g.add_edge(NodeId(1), NodeId(2), 3.0);
+        assert!((max_flow(&g, NodeId(0), NodeId(2)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_edge_increases_flow() {
+        // The textbook example where the cross edge enables extra flow.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(0), NodeId(2), 2.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 3.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        assert!((max_flow(&g, NodeId(0), NodeId(3)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_flow_zero() {
+        let g = DiGraph::new(2);
+        assert_eq!(max_flow(&g, NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn flow_at_most_out_capacity() {
+        let mut g = DiGraph::new(5);
+        for j in 1..4 {
+            g.add_edge(NodeId(0), NodeId(j), 1.5);
+            g.add_edge(NodeId(j), NodeId(4), 10.0);
+        }
+        assert!((max_flow(&g, NodeId(0), NodeId(4)) - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 0.75);
+        g.add_edge(NodeId(1), NodeId(2), 0.5);
+        g.add_edge(NodeId(0), NodeId(2), 0.25);
+        assert!((max_flow(&g, NodeId(0), NodeId(2)) - 0.75).abs() < 1e-9);
+    }
+}

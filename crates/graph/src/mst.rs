@@ -1,0 +1,149 @@
+//! Minimum spanning tree (Prim) over the symmetrized cost matrix.
+//!
+//! §3.3 discusses Young et al.'s k-MST backbone as the centralized
+//! alternative to EGOIST's id-offset cycles. We implement MST so the bench
+//! suite can compare backbone construction costs and resilience, exactly the
+//! trade-off the paper argues about ("using k-MST … is problematic, as it
+//! must always be updated").
+
+use crate::matrix::DistanceMatrix;
+use crate::types::NodeId;
+
+/// Undirected MST edges over `members`, using symmetrized costs
+/// `(d_ij + d_ji)/2`. Returns `members.len() − 1` edges for a connected
+/// (finite-cost) instance.
+pub fn mst_edges(d: &DistanceMatrix, members: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let m = members.len();
+    if m < 2 {
+        return Vec::new();
+    }
+    let sym = |a: NodeId, b: NodeId| 0.5 * (d.get(a, b) + d.get(b, a));
+    let mut in_tree = vec![false; m];
+    let mut best_cost = vec![f64::INFINITY; m];
+    let mut best_link: Vec<usize> = vec![0; m];
+    let mut edges = Vec::with_capacity(m - 1);
+
+    in_tree[0] = true;
+    for r in 1..m {
+        best_cost[r] = sym(members[0], members[r]);
+        best_link[r] = 0;
+    }
+    for _ in 1..m {
+        // Cheapest fringe vertex.
+        let mut pick = None;
+        let mut pick_cost = f64::INFINITY;
+        for r in 0..m {
+            if !in_tree[r] && best_cost[r] < pick_cost {
+                pick_cost = best_cost[r];
+                pick = Some(r);
+            }
+        }
+        let Some(r) = pick else { break }; // disconnected (infinite costs)
+        in_tree[r] = true;
+        edges.push((members[best_link[r]], members[r]));
+        for s in 0..m {
+            if !in_tree[s] {
+                let c = sym(members[r], members[s]);
+                if c < best_cost[s] {
+                    best_cost[s] = c;
+                    best_link[s] = r;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total symmetrized weight of an edge list.
+pub fn tree_weight(d: &DistanceMatrix, edges: &[(NodeId, NodeId)]) -> f64 {
+    edges
+        .iter()
+        .map(|&(a, b)| 0.5 * (d.get(a, b) + d.get(b, a)))
+        .sum()
+}
+
+/// `k` edge-disjoint-ish spanning backbones built greedily: compute an MST,
+/// inflate the used edges' costs, repeat. This is the "interleaved spanning
+/// trees" flavor of backbone used as a baseline against HybridBR cycles.
+pub fn k_mst_backbone(
+    d: &DistanceMatrix,
+    members: &[NodeId],
+    k: usize,
+) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut work = d.clone();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let t = mst_edges(&work, members);
+        if t.is_empty() {
+            break;
+        }
+        for &(a, b) in &t {
+            let inflated = work.get(a, b) * 16.0 + 1.0;
+            work.set(a, b, inflated);
+            let inflated_rev = work.get(b, a) * 16.0 + 1.0;
+            work.set(b, a, inflated_rev);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::strongly_connected;
+    use crate::graph::DiGraph;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn mst_has_m_minus_one_edges() {
+        let d = DistanceMatrix::from_fn(5, |i, j| ((i + 2) * (j + 3) % 7 + 1) as f64);
+        let e = mst_edges(&d, &ids(5));
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn mst_picks_cheap_edges_on_line_metric() {
+        // Points on a line at 0, 1, 2, 10: MST must use the three adjacent
+        // gaps (1 + 1 + 8), never 0–10 plus others.
+        let pos = [0.0f64, 1.0, 2.0, 10.0];
+        let d = DistanceMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs());
+        let e = mst_edges(&d, &ids(4));
+        assert!((tree_weight(&d, &e) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mst_as_bidirectional_graph_is_strongly_connected() {
+        let d = DistanceMatrix::from_fn(6, |i, j| ((i * 5 + j * 3) % 11 + 1) as f64);
+        let members = ids(6);
+        let mut g = DiGraph::new(6);
+        for (a, b) in mst_edges(&d, &members) {
+            g.add_edge(a, b, d.get(a, b));
+            g.add_edge(b, a, d.get(b, a));
+        }
+        assert!(strongly_connected(&g, &members));
+    }
+
+    #[test]
+    fn k_mst_trees_differ() {
+        let d = DistanceMatrix::from_fn(6, |i, j| ((i * 7 + j * 2) % 13 + 1) as f64);
+        let trees = k_mst_backbone(&d, &ids(6), 2);
+        assert_eq!(trees.len(), 2);
+        let w0 = tree_weight(&d, &trees[0]);
+        let w1 = tree_weight(&d, &trees[1]);
+        // Second tree avoids (inflated) first-tree edges, so it is no
+        // cheaper under the original metric.
+        assert!(w1 >= w0 - 1e-9);
+        assert_ne!(trees[0], trees[1]);
+    }
+
+    #[test]
+    fn tiny_member_sets() {
+        let d = DistanceMatrix::off_diagonal(3, 1.0);
+        assert!(mst_edges(&d, &[NodeId(1)]).is_empty());
+        assert!(mst_edges(&d, &[]).is_empty());
+    }
+}

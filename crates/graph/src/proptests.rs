@@ -1,0 +1,160 @@
+//! Property-based tests tying the graph algorithms to each other.
+
+use crate::apsp::{apsp, floyd_warshall};
+use crate::connectivity::{pairwise_reachability, strongly_connected};
+use crate::cycles::{backbone_edges, enforce_cycle};
+use crate::dijkstra::dijkstra;
+use crate::disjoint::{edge_disjoint_paths, vertex_disjoint_paths};
+use crate::graph::DiGraph;
+use crate::matrix::DistanceMatrix;
+use crate::maxflow::max_flow;
+use crate::types::NodeId;
+use crate::widest::widest_paths;
+use proptest::prelude::*;
+
+/// Random sparse directed graph with positive costs.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u32..100u32);
+        proptest::collection::vec(edge, 0..n * 3).prop_map(move |edges| {
+            let mut g = DiGraph::new(n);
+            for (a, b, c) in edges {
+                if a != b {
+                    g.add_edge(NodeId::from_index(a), NodeId::from_index(b), c as f64);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra distances satisfy the triangle inequality over relaxed
+    /// edges: d(s,v) ≤ d(s,u) + w(u,v) for every edge (u,v).
+    #[test]
+    fn dijkstra_is_stable_under_relaxation(g in arb_graph(12)) {
+        let sp = dijkstra(&g, NodeId(0));
+        for (u, v, w) in g.edges() {
+            let du = sp.dist[u.index()];
+            let dv = sp.dist[v.index()];
+            if du.is_finite() {
+                prop_assert!(dv <= du + w + 1e-9,
+                    "edge {u}→{v} (w={w}) violates relaxation: d(u)={du}, d(v)={dv}");
+            }
+        }
+    }
+
+    /// Repeated-Dijkstra APSP agrees with Floyd–Warshall everywhere.
+    #[test]
+    fn apsp_equals_floyd_warshall(g in arb_graph(10)) {
+        let a = apsp(&g);
+        let f = floyd_warshall(&g);
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                let (x, y) = (a.at(i, j), f.at(i, j));
+                prop_assert!(
+                    (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-6,
+                    "({i},{j}): {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    /// Paths reported by Dijkstra have exactly the reported cost.
+    #[test]
+    fn dijkstra_path_cost_matches_dist(g in arb_graph(12)) {
+        let sp = dijkstra(&g, NodeId(0));
+        for j in 0..g.len() {
+            if let Some(path) = sp.path_to(NodeId::from_index(j)) {
+                let mut c = 0.0;
+                for w in path.windows(2) {
+                    c += g.edge_cost(w[0], w[1]).unwrap();
+                }
+                prop_assert!((c - sp.dist[j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Widest path width equals the minimum edge bandwidth along the
+    /// reported path, and no single edge out of the source is wider than
+    /// the best width to its endpoint.
+    #[test]
+    fn widest_path_is_consistent(g in arb_graph(12)) {
+        let wp = widest_paths(&g, NodeId(0));
+        for j in 1..g.len() {
+            if let Some(path) = wp.path_to(NodeId::from_index(j)) {
+                let mut w = f64::INFINITY;
+                for win in path.windows(2) {
+                    w = w.min(g.edge_cost(win[0], win[1]).unwrap());
+                }
+                prop_assert!((w - wp.width[j]).abs() < 1e-9);
+            }
+        }
+        for e in g.out_edges(NodeId(0)) {
+            prop_assert!(wp.width[e.to.index()] >= e.cost - 1e-9);
+        }
+    }
+
+    /// Max-flow is bounded by both total out-capacity of s and the
+    /// bottleneck width times the number of edge-disjoint paths... the
+    /// simple sound bound: flow ≤ Σ out-capacities and flow ≥ widest single
+    /// path bottleneck (when finite).
+    #[test]
+    fn max_flow_bounds(g in arb_graph(10)) {
+        let s = NodeId(0);
+        let t = NodeId::from_index(g.len() - 1);
+        if s == t { return Ok(()); }
+        let f = max_flow(&g, s, t);
+        let out_cap: f64 = g.out_edges(s).iter().map(|e| e.cost).sum();
+        prop_assert!(f <= out_cap + 1e-6);
+        let w = widest_paths(&g, s).width[t.index()];
+        if w > 0.0 && w.is_finite() {
+            prop_assert!(f >= w - 1e-6, "flow {f} < single widest path {w}");
+        }
+    }
+
+    /// Edge-disjoint ≥ vertex-disjoint, and both are 0 iff unreachable.
+    #[test]
+    fn disjoint_path_hierarchy(g in arb_graph(10)) {
+        let s = NodeId(0);
+        let t = NodeId::from_index(g.len() - 1);
+        if s == t { return Ok(()); }
+        let e = edge_disjoint_paths(&g, s, t);
+        let v = vertex_disjoint_paths(&g, s, t);
+        prop_assert!(e >= v);
+        let reach = crate::connectivity::reachable_from(&g, s)[t.index()];
+        prop_assert_eq!(e > 0, reach);
+    }
+
+    /// Enforcing a cycle always produces a strongly connected overlay.
+    #[test]
+    fn enforced_cycle_connects(g in arb_graph(10)) {
+        let n = g.len();
+        let d = DistanceMatrix::off_diagonal(n, 1.0);
+        let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut g = g;
+        enforce_cycle(&mut g, &d, &members);
+        prop_assert!(strongly_connected(&g, &members));
+        prop_assert!((pairwise_reachability(&g, &members) - 1.0).abs() < 1e-12);
+    }
+
+    /// The HybridBR backbone with any even k2 ≥ 2 is strongly connected and
+    /// each node donates at most k2 out-links per cycle pair.
+    #[test]
+    fn backbone_is_connected(n in 3usize..20, k2 in 1usize..4) {
+        let k2 = k2 * 2;
+        let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let edges = backbone_edges(&members, k2);
+        let mut g = DiGraph::new(n);
+        for (a, b) in &edges {
+            g.add_edge(*a, *b, 1.0);
+        }
+        prop_assert!(strongly_connected(&g, &members));
+        for &m in &members {
+            prop_assert!(g.out_degree(m) <= k2.min(n - 1) + k2 / 2,
+                "node {m} donates {} links for k2={k2}", g.out_degree(m));
+        }
+    }
+}

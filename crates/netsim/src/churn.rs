@@ -1,0 +1,338 @@
+//! Node churn: ON/OFF processes, traces, and the paper's churn statistic.
+//!
+//! §4.4: "The ON/OFF periods we use in our experiments are derived from
+//! real data sets of the churn observed for PlanetLab nodes \[17\], with
+//! adjustments to the timescale to control the intensity of churn."
+//!
+//! The churn rate is defined (following \[17\]) as
+//!
+//! ```text
+//! Churn = (1/T) Σ_events |U_{i-1} Δ U_i| / max(|U_{i-1}|, |U_i|)
+//! ```
+//!
+//! where `U_i` is the membership set after event `i` and `Δ` the symmetric
+//! difference. A churn of 0.01 on n = 50 means one join/leave every two
+//! seconds.
+
+use crate::rng::derive_indexed;
+use egoist_graph::NodeId;
+use rand::RngExt;
+use rand_distr::{Distribution, Exp, Pareto};
+
+/// A membership change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnEvent {
+    /// Simulation time (s).
+    pub at: f64,
+    pub node: NodeId,
+    /// `true` = node turns ON (joins), `false` = turns OFF (leaves).
+    pub up: bool,
+}
+
+/// Session/intersession length distributions.
+#[derive(Clone, Copy, Debug)]
+pub enum Durations {
+    /// Exponential with the given mean (s).
+    Exponential { mean: f64 },
+    /// Pareto with scale (minimum, s) and shape; heavy-tailed sessions are
+    /// what PlanetLab host-availability data shows.
+    Pareto { scale: f64, shape: f64 },
+}
+
+impl Durations {
+    fn sample(&self, rng: &mut impl RngExt) -> f64 {
+        match *self {
+            Durations::Exponential { mean } => {
+                Exp::new(1.0 / mean.max(1e-9)).expect("positive rate").sample(rng)
+            }
+            Durations::Pareto { scale, shape } => {
+                Pareto::new(scale, shape).expect("valid pareto").sample(rng)
+            }
+        }
+    }
+}
+
+/// Per-node churn profile.
+#[derive(Clone, Debug)]
+pub struct NodeProfile {
+    pub on: Durations,
+    pub off: Durations,
+}
+
+/// Alternating-renewal churn generator for a population of `n` nodes.
+#[derive(Clone, Debug)]
+pub struct ChurnModel {
+    profiles: Vec<NodeProfile>,
+    /// Divide all durations by this to intensify churn (the paper's
+    /// "adjustments to the timescale"). 1.0 = natural timescale.
+    pub timescale_divisor: f64,
+    seed: u64,
+}
+
+impl ChurnModel {
+    /// Homogeneous population.
+    pub fn homogeneous(n: usize, profile: NodeProfile, seed: u64) -> Self {
+        ChurnModel {
+            profiles: vec![profile; n],
+            timescale_divisor: 1.0,
+            seed,
+        }
+    }
+
+    /// PlanetLab-like heterogeneous population: most nodes are stable
+    /// (Pareto sessions with a multi-hour scale), a minority are flappy.
+    /// This is the synthetic stand-in for the trace of \[17\].
+    pub fn planetlab_like(n: usize, seed: u64) -> Self {
+        let profiles = (0..n)
+            .map(|i| {
+                // Deterministic mix: every 5th node is flappy.
+                if i % 5 == 4 {
+                    NodeProfile {
+                        on: Durations::Pareto {
+                            scale: 600.0,
+                            shape: 1.3,
+                        },
+                        off: Durations::Exponential { mean: 300.0 },
+                    }
+                } else {
+                    NodeProfile {
+                        on: Durations::Pareto {
+                            scale: 7200.0,
+                            shape: 1.6,
+                        },
+                        off: Durations::Exponential { mean: 600.0 },
+                    }
+                }
+            })
+            .collect();
+        ChurnModel {
+            profiles,
+            timescale_divisor: 1.0,
+            seed,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Generate the ON/OFF event trace over `[0, horizon]` seconds.
+    /// All nodes start ON at t = 0 (they join the overlay at the start of
+    /// the experiment), then alternate OFF/ON.
+    pub fn generate(&self, horizon: f64) -> ChurnTrace {
+        let mut events = Vec::new();
+        for (i, prof) in self.profiles.iter().enumerate() {
+            let mut rng = derive_indexed(self.seed, "churn-node", i as u64);
+            let mut t = 0.0;
+            let mut up = true;
+            loop {
+                let dur = if up {
+                    prof.on.sample(&mut rng)
+                } else {
+                    prof.off.sample(&mut rng)
+                } / self.timescale_divisor;
+                t += dur.max(1e-6);
+                if t >= horizon {
+                    break;
+                }
+                up = !up;
+                events.push(ChurnEvent {
+                    at: t,
+                    node: NodeId::from_index(i),
+                    up,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        ChurnTrace {
+            n: self.len(),
+            horizon,
+            events,
+        }
+    }
+}
+
+/// A concrete (replayable) churn trace.
+#[derive(Clone, Debug)]
+pub struct ChurnTrace {
+    pub n: usize,
+    pub horizon: f64,
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// A trace with no churn at all.
+    pub fn none(n: usize, horizon: f64) -> Self {
+        ChurnTrace {
+            n,
+            horizon,
+            events: Vec::new(),
+        }
+    }
+
+    /// Membership (ON set) at time `t`, assuming everyone starts ON.
+    pub fn alive_at(&self, t: f64) -> Vec<NodeId> {
+        let mut up = vec![true; self.n];
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            up[e.node.index()] = e.up;
+        }
+        (0..self.n)
+            .filter(|&i| up[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// The paper's churn-rate statistic over the whole horizon.
+    ///
+    /// Each single join/leave event contributes `1 / max(|U_prev|, |U_new|)`
+    /// and the sum is divided by the horizon (units: fraction of the
+    /// population changing state per second).
+    pub fn churn_rate(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        let mut up = vec![true; self.n];
+        let mut cur = self.n;
+        let mut sum = 0.0;
+        for e in &self.events {
+            let was = up[e.node.index()];
+            if was == e.up {
+                continue; // redundant event
+            }
+            let prev = cur;
+            up[e.node.index()] = e.up;
+            cur = if e.up { cur + 1 } else { cur - 1 };
+            let denom = prev.max(cur);
+            if denom > 0 {
+                sum += 1.0 / denom as f64;
+            }
+        }
+        sum / self.horizon
+    }
+
+    /// Events within `(from, to]` — the per-epoch slice the simulator
+    /// consumes.
+    pub fn events_between(&self, from: f64, to: f64) -> &[ChurnEvent] {
+        let lo = self.events.partition_point(|e| e.at <= from);
+        let hi = self.events.partition_point(|e| e.at <= to);
+        &self.events[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_churn_trace_keeps_everyone_alive() {
+        let t = ChurnTrace::none(10, 1000.0);
+        assert_eq!(t.alive_at(500.0).len(), 10);
+        assert_eq!(t.churn_rate(), 0.0);
+    }
+
+    #[test]
+    fn generated_events_are_sorted_and_alternating() {
+        let m = ChurnModel::planetlab_like(20, 1);
+        let trace = m.generate(24.0 * 3600.0);
+        for w in trace.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Per node: first event is a leave (they start ON).
+        for i in 0..20 {
+            let first = trace
+                .events
+                .iter()
+                .find(|e| e.node == NodeId::from_index(i));
+            if let Some(e) = first {
+                assert!(!e.up, "first event for a node starting ON must be OFF");
+            }
+        }
+    }
+
+    #[test]
+    fn timescale_divisor_intensifies_churn() {
+        let mut slow = ChurnModel::planetlab_like(30, 7);
+        slow.timescale_divisor = 1.0;
+        let mut fast = ChurnModel::planetlab_like(30, 7);
+        fast.timescale_divisor = 50.0;
+        let h = 12.0 * 3600.0;
+        let r_slow = slow.generate(h).churn_rate();
+        let r_fast = fast.generate(h).churn_rate();
+        assert!(
+            r_fast > 5.0 * r_slow,
+            "divisor 50 should raise churn a lot: {r_slow} vs {r_fast}"
+        );
+    }
+
+    #[test]
+    fn churn_rate_matches_hand_computation() {
+        // n=4, two events: one leave at t=10 (1/4), one join at t=20 (1/4),
+        // horizon 100 → (0.25+0.25)/100 = 0.005.
+        let trace = ChurnTrace {
+            n: 4,
+            horizon: 100.0,
+            events: vec![
+                ChurnEvent {
+                    at: 10.0,
+                    node: NodeId(1),
+                    up: false,
+                },
+                ChurnEvent {
+                    at: 20.0,
+                    node: NodeId(1),
+                    up: true,
+                },
+            ],
+        };
+        assert!((trace.churn_rate() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alive_at_respects_events() {
+        let trace = ChurnTrace {
+            n: 3,
+            horizon: 100.0,
+            events: vec![
+                ChurnEvent {
+                    at: 10.0,
+                    node: NodeId(2),
+                    up: false,
+                },
+                ChurnEvent {
+                    at: 50.0,
+                    node: NodeId(2),
+                    up: true,
+                },
+            ],
+        };
+        assert_eq!(trace.alive_at(5.0).len(), 3);
+        assert_eq!(trace.alive_at(30.0), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(trace.alive_at(60.0).len(), 3);
+    }
+
+    #[test]
+    fn events_between_slices_correctly() {
+        let m = ChurnModel::planetlab_like(10, 2);
+        let trace = m.generate(3600.0);
+        let all: usize = trace.events.len();
+        let a = trace.events_between(0.0, 1800.0).len();
+        let b = trace.events_between(1800.0, 3600.0).len();
+        assert_eq!(a + b, all);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = ChurnModel::planetlab_like(15, 5).generate(7200.0);
+        let b = ChurnModel::planetlab_like(15, 5).generate(7200.0);
+        assert_eq!(a.events, b.events);
+    }
+}

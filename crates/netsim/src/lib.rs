@@ -1,0 +1,51 @@
+//! PlanetLab-like underlay simulator for the EGOIST reproduction.
+//!
+//! The paper evaluates EGOIST on 50 live PlanetLab nodes (and a 295-site
+//! all-pairs ping trace for the sampling study). Neither the testbed nor
+//! the original traces are available, so this crate synthesizes the
+//! *relevant structure* of that environment — see `DESIGN.md` §2 for the
+//! substitution argument. Everything is seeded and deterministic.
+//!
+//! Components:
+//!
+//! * [`delay`] — geo-clustered one-way link delays with access-link
+//!   penalties (triangle-inequality violations) and per-pair
+//!   Ornstein–Uhlenbeck jitter; this replaces live `ping` / all-pairs
+//!   traces.
+//! * [`planetlab`] — node rosters matching the paper's site distribution
+//!   (30 NA, 11 EU, 7 Asia, 1 SA, 1 Oceania for `n = 50`; 295 sites for
+//!   the sampling study).
+//! * [`bandwidth`] — per-node access capacities plus cross-traffic dynamics;
+//!   the pathChirp estimator is modeled as a noisy probe with ~2% overhead.
+//! * [`load`] — heavy-tailed, mean-reverting per-node CPU load with an
+//!   EWMA sensor (the paper's 1-minute `loadavg` average).
+//! * [`churn`] — ON/OFF renewal processes, trace generation/replay and the
+//!   paper's churn-rate statistic (§4.4).
+//! * [`events`] — a tiny deterministic discrete-event queue used to stagger
+//!   re-wiring epochs (`T/n` average spacing, §4.2).
+//! * [`fault`] — message-level fault injection (drop, corrupt, rate-limit)
+//!   for exercising the protocol crate, in the spirit of smoltcp's example
+//!   fault injectors.
+//! * [`rng`] — seed-derivation helpers so every subsystem gets an
+//!   independent deterministic stream.
+//! * [`topo`] — BRITE-style Waxman and Barabási–Albert synthetic
+//!   topologies (the §5 alternative underlays).
+
+pub mod bandwidth;
+pub mod churn;
+pub mod delay;
+pub mod events;
+pub mod fault;
+pub mod load;
+pub mod planetlab;
+pub mod rng;
+pub mod topo;
+
+pub use bandwidth::BandwidthModel;
+pub use churn::{ChurnModel, ChurnTrace};
+pub use delay::DelayModel;
+pub use load::LoadModel;
+pub use planetlab::{PlanetLabSpec, Region};
+
+#[cfg(test)]
+mod proptests;

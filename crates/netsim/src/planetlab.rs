@@ -1,0 +1,183 @@
+//! Node rosters mirroring the paper's PlanetLab deployments.
+//!
+//! §4.2: "We deployed Egoist on n = 50 PlanetLab nodes (30 in North
+//! America, 11 in Europe, 7 in Asia, 1 in South America, and 1 in
+//! Oceania)." §5 uses a 295-site all-pairs ping trace. The specs here
+//! reproduce those populations; geographic placement feeds the delay
+//! model.
+
+use rand::RngExt;
+
+/// Continent-scale region of a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    SouthAmerica,
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in roster order.
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::SouthAmerica,
+        Region::Oceania,
+    ];
+
+    /// Nominal center of the region on the synthetic delay plane
+    /// (coordinates in "propagation milliseconds": Euclidean distance
+    /// between two points approximates the one-way propagation delay of a
+    /// direct IP path between them).
+    pub fn center(self) -> (f64, f64) {
+        match self {
+            // NA and EU form an overlapping low-delay core (coast-to-coast
+            // US spread is comparable to the transatlantic gap, as in real
+            // PlanetLab RTT data); Asia / South America / Oceania sit in a
+            // genuinely far tail.
+            Region::NorthAmerica => (0.0, 0.0),
+            Region::Europe => (55.0, 0.0),
+            Region::Asia => (135.0, -15.0),
+            Region::SouthAmerica => (65.0, -80.0),
+            Region::Oceania => (160.0, -65.0),
+        }
+    }
+
+    /// Radius of the region's site disk (intra-region spread, ms).
+    pub fn radius(self) -> f64 {
+        match self {
+            Region::NorthAmerica => 24.0,
+            Region::Europe => 13.0,
+            Region::Asia => 22.0,
+            Region::SouthAmerica => 8.0,
+            Region::Oceania => 8.0,
+        }
+    }
+}
+
+/// Roster of sites for an experiment: how many nodes in each region.
+#[derive(Clone, Debug)]
+pub struct PlanetLabSpec {
+    pub counts: Vec<(Region, usize)>,
+}
+
+impl PlanetLabSpec {
+    /// The paper's 50-node deployment (§4.2).
+    pub fn paper_50() -> Self {
+        PlanetLabSpec {
+            counts: vec![
+                (Region::NorthAmerica, 30),
+                (Region::Europe, 11),
+                (Region::Asia, 7),
+                (Region::SouthAmerica, 1),
+                (Region::Oceania, 1),
+            ],
+        }
+    }
+
+    /// The 295-site roster of the sampling study (§5), with the same
+    /// regional mix scaled up (PlanetLab was ~60% NA / ~25% EU / ~12% Asia
+    /// in 2007).
+    pub fn paper_295() -> Self {
+        PlanetLabSpec {
+            counts: vec![
+                (Region::NorthAmerica, 175),
+                (Region::Europe, 75),
+                (Region::Asia, 35),
+                (Region::SouthAmerica, 5),
+                (Region::Oceania, 5),
+            ],
+        }
+    }
+
+    /// An arbitrary single-region roster (useful in unit tests).
+    pub fn uniform(region: Region, n: usize) -> Self {
+        PlanetLabSpec {
+            counts: vec![(region, n)],
+        }
+    }
+
+    /// Total node count.
+    pub fn n(&self) -> usize {
+        self.counts.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Region of each node id, in id order.
+    pub fn regions(&self) -> Vec<Region> {
+        let mut v = Vec::with_capacity(self.n());
+        for &(r, c) in &self.counts {
+            v.extend(std::iter::repeat_n(r, c));
+        }
+        v
+    }
+
+    /// Place each site uniformly inside its region disk.
+    pub fn place(&self, rng: &mut impl RngExt) -> Vec<(f64, f64)> {
+        let mut pts = Vec::with_capacity(self.n());
+        for &(region, count) in &self.counts {
+            let (cx, cy) = region.center();
+            let rad = region.radius();
+            for _ in 0..count {
+                // Uniform in disk via sqrt radius.
+                let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                let r = rad * rng.random_range(0.0f64..1.0).sqrt();
+                pts.push((cx + r * theta.cos(), cy + r * theta.sin()));
+            }
+        }
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive;
+
+    #[test]
+    fn paper_50_matches_paper_counts() {
+        let s = PlanetLabSpec::paper_50();
+        assert_eq!(s.n(), 50);
+        let regs = s.regions();
+        assert_eq!(regs.iter().filter(|&&r| r == Region::NorthAmerica).count(), 30);
+        assert_eq!(regs.iter().filter(|&&r| r == Region::Europe).count(), 11);
+        assert_eq!(regs.iter().filter(|&&r| r == Region::Asia).count(), 7);
+    }
+
+    #[test]
+    fn paper_295_totals() {
+        assert_eq!(PlanetLabSpec::paper_295().n(), 295);
+    }
+
+    #[test]
+    fn placement_stays_in_disk() {
+        let s = PlanetLabSpec::paper_50();
+        let mut rng = derive(1, "place");
+        let pts = s.place(&mut rng);
+        assert_eq!(pts.len(), 50);
+        for (i, r) in s.regions().into_iter().enumerate() {
+            let (cx, cy) = r.center();
+            let (x, y) = pts[i];
+            let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+            assert!(d <= r.radius() + 1e-9, "site {i} escaped its region");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let s = PlanetLabSpec::paper_50();
+        let a = s.place(&mut derive(9, "p"));
+        let b = s.place(&mut derive(9, "p"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inter_region_distances_exceed_intra() {
+        // Region centers are farther apart than any intra-region spread.
+        let (na, eu) = (Region::NorthAmerica.center(), Region::Europe.center());
+        let d = ((na.0 - eu.0).powi(2) + (na.1 - eu.1).powi(2)).sqrt();
+        assert!(d > 2.0 * Region::NorthAmerica.radius());
+    }
+}

@@ -1,0 +1,160 @@
+//! The bootstrap service (§3.1).
+//!
+//! "A newcomer overlay node connects to the system by querying a
+//! bootstrap node, from which it receives a list of potential overlay
+//! neighbors." The service is a tiny request/reply actor on its own
+//! transport endpoint: it records every requester and answers with the
+//! current membership list (capped, most recent first).
+
+use crate::codec::{decode, encode};
+use crate::message::Message;
+use crate::transport::Transport;
+use egoist_graph::NodeId;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared membership registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Vec<NodeId>>>,
+}
+
+impl Registry {
+    /// Snapshot of registered nodes.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.inner.read().clone()
+    }
+
+    /// Register a node (idempotent; moves it to most-recent position).
+    pub fn register(&self, id: NodeId) {
+        let mut v = self.inner.write();
+        v.retain(|&x| x != id);
+        v.push(id);
+    }
+
+    /// Remove a node.
+    pub fn remove(&self, id: NodeId) {
+        self.inner.write().retain(|&x| x != id);
+    }
+}
+
+/// The bootstrap server task.
+pub struct BootstrapServer<T: Transport> {
+    transport: T,
+    registry: Registry,
+    /// Maximum peers returned per response.
+    pub max_peers: usize,
+}
+
+impl<T: Transport> BootstrapServer<T> {
+    /// New server over a transport endpoint.
+    pub fn new(transport: T, registry: Registry) -> Self {
+        BootstrapServer {
+            transport,
+            registry,
+            max_peers: 16,
+        }
+    }
+
+    /// Serve until the transport closes.
+    pub async fn run(mut self) {
+        while let Some((from, frame)) = self.transport.recv().await {
+            let Ok(msg) = decode(&frame) else { continue };
+            match msg {
+                Message::BootstrapRequest { from: requester } => {
+                    // Candidates: most recently registered first, excluding
+                    // the requester itself.
+                    let mut peers: Vec<NodeId> = self
+                        .registry
+                        .members()
+                        .into_iter()
+                        .rev()
+                        .filter(|&p| p != requester)
+                        .take(self.max_peers)
+                        .collect();
+                    peers.sort_unstable();
+                    self.registry.register(requester);
+                    let reply = encode(&Message::BootstrapResponse { peers });
+                    let _ = self.transport.send(from, reply).await;
+                }
+                Message::Leave { from: leaver } => {
+                    self.registry.remove(leaver);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimNet;
+    use bytes::Bytes;
+    use egoist_graph::DistanceMatrix;
+
+    const BOOT_ID: NodeId = NodeId(99);
+
+    #[tokio::test(start_paused = true)]
+    async fn first_joiner_gets_empty_list_then_grows() {
+        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+        let registry = Registry::default();
+        let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
+        tokio::spawn(server.run());
+
+        let mut a = net.endpoint(NodeId(0));
+        a.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(0) }))
+            .await
+            .unwrap();
+        let (_, frame) = a.recv().await.unwrap();
+        assert_eq!(
+            decode(&frame).unwrap(),
+            Message::BootstrapResponse { peers: vec![] }
+        );
+
+        let mut b = net.endpoint(NodeId(1));
+        b.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(1) }))
+            .await
+            .unwrap();
+        let (_, frame) = b.recv().await.unwrap();
+        assert_eq!(
+            decode(&frame).unwrap(),
+            Message::BootstrapResponse { peers: vec![NodeId(0)] }
+        );
+        assert_eq!(registry.members(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn leave_removes_from_registry() {
+        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+        let registry = Registry::default();
+        registry.register(NodeId(3));
+        registry.register(NodeId(4));
+        let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
+        tokio::spawn(server.run());
+
+        let c = net.endpoint(NodeId(3));
+        c.send(BOOT_ID, encode(&Message::Leave { from: NodeId(3) }))
+            .await
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        assert_eq!(registry.members(), vec![NodeId(4)]);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn garbage_frames_ignored() {
+        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+        let server = BootstrapServer::new(net.endpoint(BOOT_ID), Registry::default());
+        tokio::spawn(server.run());
+        let mut a = net.endpoint(NodeId(0));
+        a.send(BOOT_ID, Bytes::from_static(b"not a frame")).await.unwrap();
+        a.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(0) }))
+            .await
+            .unwrap();
+        let (_, frame) = a.recv().await.unwrap();
+        assert!(matches!(
+            decode(&frame).unwrap(),
+            Message::BootstrapResponse { .. }
+        ));
+    }
+}

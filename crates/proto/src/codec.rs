@@ -1,0 +1,377 @@
+//! Binary framing for EGOIST messages.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! +--------+---------+------+----------+------------------+----------+
+//! | magic  | version | type | len      | payload          | checksum |
+//! | u16    | u8      | u8   | u32      | len bytes        | u32      |
+//! +--------+---------+------+----------+------------------+----------+
+//! ```
+//!
+//! The checksum is FNV-1a over header+payload. Decoding is *total*: any
+//! malformed, truncated, or corrupted input yields a [`DecodeError`],
+//! never a panic — the property the fault-injection tests rely on.
+
+use crate::message::{LinkEntry, LinkStateAnnouncement, Message};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use egoist_graph::NodeId;
+
+/// Frame magic ("EG").
+pub const MAGIC: u16 = 0x4547;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Upper bound on accepted payload length (defends against corrupt
+/// length fields).
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    TooShort,
+    BadMagic,
+    BadVersion(u8),
+    BadChecksum,
+    BadType(u8),
+    BadLength,
+    TrailingBytes,
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for b in data {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+mod tag {
+    pub const BOOTSTRAP_REQUEST: u8 = 1;
+    pub const BOOTSTRAP_RESPONSE: u8 = 2;
+    pub const HELLO: u8 = 3;
+    pub const LSDB_SYNC: u8 = 4;
+    pub const LINK_STATE: u8 = 5;
+    pub const PING: u8 = 6;
+    pub const PONG: u8 = 7;
+    pub const HEARTBEAT: u8 = 8;
+    pub const LEAVE: u8 = 9;
+}
+
+fn put_lsa(buf: &mut BytesMut, lsa: &LinkStateAnnouncement) {
+    buf.put_u32(lsa.origin.0);
+    buf.put_u64(lsa.seq);
+    buf.put_u16(lsa.links.len() as u16);
+    for l in &lsa.links {
+        buf.put_u32(l.neighbor.0);
+        buf.put_f32(l.cost);
+    }
+}
+
+fn get_lsa(buf: &mut Bytes) -> Result<LinkStateAnnouncement, DecodeError> {
+    if buf.remaining() < 14 {
+        return Err(DecodeError::Truncated);
+    }
+    let origin = NodeId(buf.get_u32());
+    let seq = buf.get_u64();
+    let n = buf.get_u16() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        let neighbor = NodeId(buf.get_u32());
+        let cost = buf.get_f32();
+        links.push(LinkEntry { neighbor, cost });
+    }
+    Ok(LinkStateAnnouncement { origin, seq, links })
+}
+
+/// Encode a message into a complete frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    let ty = match msg {
+        Message::BootstrapRequest { from } => {
+            payload.put_u32(from.0);
+            tag::BOOTSTRAP_REQUEST
+        }
+        Message::BootstrapResponse { peers } => {
+            payload.put_u16(peers.len() as u16);
+            for p in peers {
+                payload.put_u32(p.0);
+            }
+            tag::BOOTSTRAP_RESPONSE
+        }
+        Message::Hello { from } => {
+            payload.put_u32(from.0);
+            tag::HELLO
+        }
+        Message::LsdbSync { lsas } => {
+            payload.put_u16(lsas.len() as u16);
+            for lsa in lsas {
+                put_lsa(&mut payload, lsa);
+            }
+            tag::LSDB_SYNC
+        }
+        Message::LinkState(lsa) => {
+            put_lsa(&mut payload, lsa);
+            tag::LINK_STATE
+        }
+        Message::Ping { from, nonce } => {
+            payload.put_u32(from.0);
+            payload.put_u64(*nonce);
+            // Pad to the paper's 320-bit (40-byte) ICMP echo size.
+            payload.put_bytes(0, 40usize.saturating_sub(12));
+            tag::PING
+        }
+        Message::Pong { from, nonce } => {
+            payload.put_u32(from.0);
+            payload.put_u64(*nonce);
+            payload.put_bytes(0, 40usize.saturating_sub(12));
+            tag::PONG
+        }
+        Message::Heartbeat { from } => {
+            payload.put_u32(from.0);
+            tag::HEARTBEAT
+        }
+        Message::Leave { from } => {
+            payload.put_u32(from.0);
+            tag::LEAVE
+        }
+    };
+
+    let mut frame = BytesMut::with_capacity(payload.len() + 12);
+    frame.put_u16(MAGIC);
+    frame.put_u8(VERSION);
+    frame.put_u8(ty);
+    frame.put_u32(payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    let ck = fnv1a(&frame);
+    frame.put_u32(ck);
+    frame.freeze()
+}
+
+/// Decode one complete frame.
+pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
+    if frame.len() < 12 {
+        return Err(DecodeError::TooShort);
+    }
+    let body_len = frame.len() - 4;
+    let claimed_ck = u32::from_be_bytes(frame[body_len..].try_into().expect("4 bytes"));
+    if fnv1a(&frame[..body_len]) != claimed_ck {
+        return Err(DecodeError::BadChecksum);
+    }
+    let mut buf = Bytes::copy_from_slice(&frame[..body_len]);
+    let magic = buf.get_u16();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let ty = buf.get_u8();
+    let len = buf.get_u32() as usize;
+    if len > MAX_PAYLOAD || len != buf.remaining() {
+        return Err(DecodeError::BadLength);
+    }
+
+    let msg = match ty {
+        tag::BOOTSTRAP_REQUEST => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::BootstrapRequest { from: NodeId(buf.get_u32()) }
+        }
+        tag::BOOTSTRAP_RESPONSE => {
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u16() as usize;
+            if buf.remaining() < n * 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let peers = (0..n).map(|_| NodeId(buf.get_u32())).collect();
+            Message::BootstrapResponse { peers }
+        }
+        tag::HELLO => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::Hello { from: NodeId(buf.get_u32()) }
+        }
+        tag::LSDB_SYNC => {
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let n = buf.get_u16() as usize;
+            let mut lsas = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                lsas.push(get_lsa(&mut buf)?);
+            }
+            Message::LsdbSync { lsas }
+        }
+        tag::LINK_STATE => Message::LinkState(get_lsa(&mut buf)?),
+        tag::PING | tag::PONG => {
+            if buf.remaining() < 12 {
+                return Err(DecodeError::Truncated);
+            }
+            let from = NodeId(buf.get_u32());
+            let nonce = buf.get_u64();
+            buf.advance(buf.remaining()); // padding
+            if ty == tag::PING {
+                Message::Ping { from, nonce }
+            } else {
+                Message::Pong { from, nonce }
+            }
+        }
+        tag::HEARTBEAT => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::Heartbeat { from: NodeId(buf.get_u32()) }
+        }
+        tag::LEAVE => {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            Message::Leave { from: NodeId(buf.get_u32()) }
+        }
+        other => return Err(DecodeError::BadType(other)),
+    };
+    if buf.has_remaining() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::BootstrapRequest { from: NodeId(7) },
+            Message::BootstrapResponse {
+                peers: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+            Message::Hello { from: NodeId(0) },
+            Message::LsdbSync {
+                lsas: vec![LinkStateAnnouncement {
+                    origin: NodeId(4),
+                    seq: 42,
+                    links: vec![
+                        LinkEntry { neighbor: NodeId(5), cost: 12.5 },
+                        LinkEntry { neighbor: NodeId(6), cost: 0.25 },
+                    ],
+                }],
+            },
+            Message::LinkState(LinkStateAnnouncement {
+                origin: NodeId(9),
+                seq: 1,
+                links: vec![],
+            }),
+            Message::Ping { from: NodeId(3), nonce: 0xDEADBEEF },
+            Message::Pong { from: NodeId(4), nonce: 0xDEADBEEF },
+            Message::Heartbeat { from: NodeId(2) },
+            Message::Leave { from: NodeId(1) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_message_kinds() {
+        for m in sample_messages() {
+            let f = encode(&m);
+            assert_eq!(decode(&f).expect("decode"), m, "roundtrip failed for {m:?}");
+        }
+    }
+
+    #[test]
+    fn ping_frames_match_paper_size() {
+        // §4.3 says ICMP echo ≈ 320 bits = 40 bytes; our ping payload is
+        // exactly that, plus the 12-byte frame envelope.
+        let f = encode(&Message::Ping { from: NodeId(0), nonce: 0 });
+        assert_eq!(f.len(), 40 + 12);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let mut f = encode(&Message::Hello { from: NodeId(1) }).to_vec();
+        let last = f.len() - 1;
+        f[last] ^= 0xFF;
+        assert_eq!(decode(&f), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert_eq!(decode(&[]), Err(DecodeError::TooShort));
+        assert_eq!(decode(&[0x45; 5]), Err(DecodeError::TooShort));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let f = encode(&Message::Hello { from: NodeId(1) });
+        let mut v = f.to_vec();
+        v[0] = 0x00;
+        // Checksum covers the magic, so flipping it without fixing the
+        // checksum fails there first; fix the checksum to reach BadMagic.
+        let body = v.len() - 4;
+        let ck = super::fnv1a(&v[..body]);
+        v[body..].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(decode(&v), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn every_single_bitflip_is_rejected_or_harmless() {
+        // Fault injection flips one bit anywhere; decode must never panic
+        // and must almost always reject (the checksum catches it).
+        let f = encode(&Message::LinkState(LinkStateAnnouncement {
+            origin: NodeId(1),
+            seq: 77,
+            links: vec![LinkEntry { neighbor: NodeId(2), cost: 3.5 }],
+        }));
+        for byte in 0..f.len() {
+            for bit in 0..8 {
+                let mut v = f.to_vec();
+                v[byte] ^= 1 << bit;
+                let _ = decode(&v); // must not panic
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Arbitrary bytes never panic the decoder.
+        #[test]
+        fn decode_is_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&data);
+        }
+
+        /// Roundtrip for arbitrary LSAs.
+        #[test]
+        fn lsa_roundtrip(origin in 0u32..1000, seq in 0u64..u64::MAX,
+                         links in proptest::collection::vec((0u32..1000, 0.0f32..1e6), 0..64)) {
+            let lsa = LinkStateAnnouncement {
+                origin: NodeId(origin),
+                seq,
+                links: links
+                    .into_iter()
+                    .map(|(n, c)| LinkEntry { neighbor: NodeId(n), cost: c })
+                    .collect(),
+            };
+            let m = Message::LinkState(lsa);
+            prop_assert_eq!(decode(&encode(&m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Wire messages of the EGOIST protocol.
+//!
+//! Sizes follow §4.3: a link-state packet carries "its ID, its neighbors'
+//! IDs and the cost of the established links to its k neighbors"; header
+//! and padding are 192 bits and each neighbor entry 32 bits. Our concrete
+//! encoding differs (we carry f32 costs alongside u32 ids), but the same
+//! `O(k)` scaling holds and [`crate::overhead`] accounts for both.
+
+use egoist_graph::NodeId;
+
+/// One neighbor entry in a link-state announcement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkEntry {
+    pub neighbor: NodeId,
+    /// Announced cost of the established link (metric units).
+    pub cost: f32,
+}
+
+/// A sequence-numbered link-state announcement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkStateAnnouncement {
+    pub origin: NodeId,
+    /// Monotonic per-origin sequence number; higher supersedes lower.
+    pub seq: u64,
+    pub links: Vec<LinkEntry>,
+}
+
+/// All EGOIST protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Join request to the bootstrap service.
+    BootstrapRequest { from: NodeId },
+    /// Candidate neighbor list from the bootstrap service.
+    BootstrapResponse { peers: Vec<NodeId> },
+    /// First contact with a peer; the receiver replies with `LsdbSync`.
+    Hello { from: NodeId },
+    /// Full LSDB transfer to a newcomer.
+    LsdbSync { lsas: Vec<LinkStateAnnouncement> },
+    /// Flooded link-state announcement.
+    LinkState(LinkStateAnnouncement),
+    /// Measurement probe (ICMP ECHO stand-in; §4.3 sizes it at 320 bits).
+    Ping { from: NodeId, nonce: u64 },
+    /// Probe reply echoing the nonce.
+    Pong { from: NodeId, nonce: u64 },
+    /// Aggressive keepalive on donated backbone links (§3.3).
+    Heartbeat { from: NodeId },
+    /// Graceful departure.
+    Leave { from: NodeId },
+}
+
+impl Message {
+    /// Message-class label for overhead accounting.
+    pub fn class(&self) -> MessageClass {
+        match self {
+            Message::BootstrapRequest { .. } | Message::BootstrapResponse { .. } => {
+                MessageClass::Bootstrap
+            }
+            Message::Hello { .. } | Message::LsdbSync { .. } => MessageClass::Sync,
+            Message::LinkState(_) => MessageClass::LinkState,
+            Message::Ping { .. } | Message::Pong { .. } => MessageClass::Measurement,
+            Message::Heartbeat { .. } => MessageClass::Heartbeat,
+            Message::Leave { .. } => MessageClass::Control,
+        }
+    }
+}
+
+/// Coarse class used by the overhead accountant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    Bootstrap,
+    Sync,
+    LinkState,
+    Measurement,
+    Heartbeat,
+    Control,
+}
+
+impl MessageClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [MessageClass; 6] = [
+        MessageClass::Bootstrap,
+        MessageClass::Sync,
+        MessageClass::LinkState,
+        MessageClass::Measurement,
+        MessageClass::Heartbeat,
+        MessageClass::Control,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_all_messages() {
+        let msgs = [
+            Message::BootstrapRequest { from: NodeId(1) },
+            Message::BootstrapResponse { peers: vec![NodeId(2)] },
+            Message::Hello { from: NodeId(1) },
+            Message::LsdbSync { lsas: vec![] },
+            Message::LinkState(LinkStateAnnouncement {
+                origin: NodeId(1),
+                seq: 0,
+                links: vec![],
+            }),
+            Message::Ping { from: NodeId(1), nonce: 9 },
+            Message::Pong { from: NodeId(1), nonce: 9 },
+            Message::Heartbeat { from: NodeId(1) },
+            Message::Leave { from: NodeId(1) },
+        ];
+        for m in msgs {
+            // Just ensure classification is total and stable.
+            let _ = m.class();
+        }
+    }
+
+    #[test]
+    fn lsa_equality_is_structural() {
+        let a = LinkStateAnnouncement {
+            origin: NodeId(3),
+            seq: 7,
+            links: vec![LinkEntry { neighbor: NodeId(1), cost: 2.5 }],
+        };
+        assert_eq!(a, a.clone());
+    }
+}

@@ -1,0 +1,330 @@
+//! Transport abstraction: real UDP and a deterministic in-process network.
+//!
+//! The node state machine is generic over [`Transport`], so the *same*
+//! protocol logic runs over loopback/LAN UDP (the live deployment path)
+//! and over [`SimTransport`] (frames delivered through `egoist-netsim`
+//! link delays and fault injection, with tokio's paused clock making
+//! tests instant and deterministic).
+
+use bytes::Bytes;
+use egoist_graph::{DistanceMatrix, NodeId};
+use egoist_netsim::fault::{FaultConfig, FaultInjector, Verdict};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+
+/// A datagram transport between overlay nodes.
+pub trait Transport: Send + 'static {
+    /// This endpoint's node id.
+    fn local_id(&self) -> NodeId;
+
+    /// Send one frame to a peer. Unreachable peers are a silent drop
+    /// (datagram semantics) — protocol liveness comes from retries and
+    /// timeouts, not the transport.
+    fn send(
+        &self,
+        to: NodeId,
+        frame: Bytes,
+    ) -> impl std::future::Future<Output = std::io::Result<()>> + Send;
+
+    /// Receive the next frame as `(sender, bytes)`. `None` = transport
+    /// closed.
+    fn recv(
+        &mut self,
+    ) -> impl std::future::Future<Output = Option<(NodeId, Bytes)>> + Send;
+}
+
+// ---------------------------------------------------------------------
+// Simulated network
+// ---------------------------------------------------------------------
+
+struct SimNetInner {
+    /// One-way frame latency in milliseconds per directed pair.
+    delays: DistanceMatrix,
+    txs: Mutex<HashMap<NodeId, mpsc::UnboundedSender<(NodeId, Bytes)>>>,
+    fault: Mutex<FaultInjector>,
+    epoch: tokio::time::Instant,
+    pub frames_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+}
+
+/// An in-process network shared by many [`SimTransport`] endpoints.
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<SimNetInner>,
+}
+
+impl SimNet {
+    /// Build a network with per-pair one-way delays (ms) and a fault
+    /// injector configuration.
+    pub fn new(delays: DistanceMatrix, fault: FaultConfig, seed: u64) -> Self {
+        SimNet {
+            inner: Arc::new(SimNetInner {
+                delays,
+                txs: Mutex::new(HashMap::new()),
+                fault: Mutex::new(FaultInjector::new(fault, seed)),
+                epoch: tokio::time::Instant::now(),
+                frames_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A clean (lossless) network.
+    pub fn clean(delays: DistanceMatrix) -> Self {
+        Self::new(delays, FaultConfig::default(), 0)
+    }
+
+    /// Create the endpoint for node `id`. Panics if `id` already exists.
+    pub fn endpoint(&self, id: NodeId) -> SimTransport {
+        let (tx, rx) = mpsc::unbounded_channel();
+        let prev = self.inner.txs.lock().insert(id, tx);
+        assert!(prev.is_none(), "duplicate endpoint for {id}");
+        SimTransport {
+            id,
+            net: Arc::clone(&self.inner),
+            rx,
+        }
+    }
+
+    /// Disconnect an endpoint (its queued frames are dropped) — used to
+    /// simulate abrupt node failure.
+    pub fn disconnect(&self, id: NodeId) {
+        self.inner.txs.lock().remove(&id);
+    }
+
+    /// Total frames accepted for transmission.
+    pub fn frames_sent(&self) -> u64 {
+        self.inner.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes accepted for transmission.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// One node's endpoint on a [`SimNet`].
+pub struct SimTransport {
+    id: NodeId,
+    net: Arc<SimNetInner>,
+    rx: mpsc::UnboundedReceiver<(NodeId, Bytes)>,
+}
+
+impl Transport for SimTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    async fn send(&self, to: NodeId, frame: Bytes) -> std::io::Result<()> {
+        self.net.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.net
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+        let mut data = frame.to_vec();
+        let now = self.net.epoch.elapsed().as_secs_f64();
+        let verdict = self.net.fault.lock().process(now, &mut data);
+        if verdict == Verdict::Drop {
+            return Ok(()); // datagram lost
+        }
+        let Some(tx) = self.net.txs.lock().get(&to).cloned() else {
+            return Ok(()); // peer gone: datagram lost
+        };
+        let from = self.id;
+        let delay_ms = if to.index() < self.net.delays.len() && from.index() < self.net.delays.len()
+        {
+            self.net.delays.get(from, to).max(0.0)
+        } else {
+            1.0
+        };
+        tokio::spawn(async move {
+            tokio::time::sleep(std::time::Duration::from_secs_f64(delay_ms / 1000.0)).await;
+            let _ = tx.send((from, Bytes::from(data)));
+        });
+        Ok(())
+    }
+
+    async fn recv(&mut self) -> Option<(NodeId, Bytes)> {
+        self.rx.recv().await
+    }
+}
+
+// ---------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------
+
+/// A UDP endpoint with a static peer roster (id ↔ address).
+///
+/// The roster is shared and mutable, so late joiners can be added; a full
+/// deployment would learn addresses from the bootstrap exchange, which the
+/// prototype keeps out of band as PlanetLab's EGOIST did with its central
+/// bootstrap list.
+pub struct UdpTransport {
+    id: NodeId,
+    socket: Arc<UdpSocket>,
+    by_id: Arc<Mutex<HashMap<NodeId, SocketAddr>>>,
+    by_addr: Arc<Mutex<HashMap<SocketAddr, NodeId>>>,
+    buf: Vec<u8>,
+}
+
+impl UdpTransport {
+    /// Bind `id` to `addr` (use port 0 for an OS-assigned port).
+    pub async fn bind(id: NodeId, addr: &str) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind(addr).await?;
+        Ok(UdpTransport {
+            id,
+            socket: Arc::new(socket),
+            by_id: Arc::new(Mutex::new(HashMap::new())),
+            by_addr: Arc::new(Mutex::new(HashMap::new())),
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Register a peer's address.
+    pub fn add_peer(&self, id: NodeId, addr: SocketAddr) {
+        self.by_id.lock().insert(id, addr);
+        self.by_addr.lock().insert(addr, id);
+    }
+
+    /// Known peers.
+    pub fn peers(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.by_id.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    async fn send(&self, to: NodeId, frame: Bytes) -> std::io::Result<()> {
+        let addr = { self.by_id.lock().get(&to).copied() };
+        let Some(addr) = addr else {
+            return Ok(()); // unknown peer: datagram lost
+        };
+        self.socket.send_to(&frame, addr).await.map(|_| ())
+    }
+
+    async fn recv(&mut self) -> Option<(NodeId, Bytes)> {
+        loop {
+            match self.socket.recv_from(&mut self.buf).await {
+                Ok((len, addr)) => {
+                    let from = { self.by_addr.lock().get(&addr).copied() };
+                    if let Some(from) = from {
+                        return Some((from, Bytes::copy_from_slice(&self.buf[..len])));
+                    }
+                    // Unknown sender: drop and keep listening.
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_delays(ms: f64) -> DistanceMatrix {
+        DistanceMatrix::off_diagonal(2, ms)
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn sim_delivers_with_delay() {
+        let net = SimNet::clean(two_node_delays(25.0));
+        let a = net.endpoint(NodeId(0));
+        let mut b = net.endpoint(NodeId(1));
+        let t0 = tokio::time::Instant::now();
+        a.send(NodeId(1), Bytes::from_static(b"hi")).await.unwrap();
+        let (from, data) = b.recv().await.unwrap();
+        let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(from, NodeId(0));
+        assert_eq!(&data[..], b"hi");
+        assert!((elapsed - 25.0).abs() < 1.0, "latency {elapsed} ms");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn sim_drops_to_unknown_peer() {
+        let net = SimNet::clean(two_node_delays(1.0));
+        let a = net.endpoint(NodeId(0));
+        // No endpoint for node 1: send succeeds, nothing delivered.
+        a.send(NodeId(1), Bytes::from_static(b"x")).await.unwrap();
+        assert_eq!(net.frames_sent(), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn sim_fault_injection_drops() {
+        let net = SimNet::new(two_node_delays(1.0), FaultConfig::lossy(1.0), 7);
+        let a = net.endpoint(NodeId(0));
+        let mut b = net.endpoint(NodeId(1));
+        for _ in 0..10 {
+            a.send(NodeId(1), Bytes::from_static(b"y")).await.unwrap();
+        }
+        // All dropped: recv should time out.
+        let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
+        assert!(got.is_err(), "lossy(1.0) must drop everything");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn sim_disconnect_blackholes() {
+        let net = SimNet::clean(two_node_delays(1.0));
+        let a = net.endpoint(NodeId(0));
+        let mut b = net.endpoint(NodeId(1));
+        net.disconnect(NodeId(1));
+        a.send(NodeId(1), Bytes::from_static(b"z")).await.unwrap();
+        // The hub dropped b's sender, so b's stream ends without ever
+        // delivering the frame.
+        let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
+        assert_eq!(got, Ok(None));
+    }
+
+    #[tokio::test]
+    async fn udp_roundtrip_on_loopback() {
+        let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
+        let mut b = UdpTransport::bind(NodeId(1), "127.0.0.1:0").await.unwrap();
+        let (aa, ba) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+        a.add_peer(NodeId(1), ba);
+        b.add_peer(NodeId(0), aa);
+        a.send(NodeId(1), Bytes::from_static(b"ping")).await.unwrap();
+        let (from, data) =
+            tokio::time::timeout(std::time::Duration::from_secs(5), b.recv())
+                .await
+                .expect("timely")
+                .expect("open");
+        assert_eq!(from, NodeId(0));
+        assert_eq!(&data[..], b"ping");
+        b.send(NodeId(0), Bytes::from_static(b"pong")).await.unwrap();
+        let (from, data) =
+            tokio::time::timeout(std::time::Duration::from_secs(5), a.recv())
+                .await
+                .expect("timely")
+                .expect("open");
+        assert_eq!(from, NodeId(1));
+        assert_eq!(&data[..], b"pong");
+    }
+
+    #[tokio::test]
+    async fn udp_unknown_sender_filtered() {
+        let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
+        let stranger = UdpTransport::bind(NodeId(9), "127.0.0.1:0").await.unwrap();
+        stranger.add_peer(NodeId(0), a.local_addr().unwrap());
+        stranger
+            .send(NodeId(0), Bytes::from_static(b"??"))
+            .await
+            .unwrap();
+        let got = tokio::time::timeout(std::time::Duration::from_millis(300), a.recv()).await;
+        assert!(got.is_err(), "frames from unknown addresses are dropped");
+    }
+}

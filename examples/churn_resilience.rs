@@ -1,0 +1,50 @@
+//! Churn resilience (§3.3/§4.4 scenario): how HybridBR's donated-link
+//! backbone keeps the overlay efficient when nodes flap.
+//!
+//! Run with: `cargo run --release --example churn_resilience`
+
+use egoist::core::policies::PolicyKind;
+use egoist::core::sim::{run, Metric, SimConfig};
+use egoist_netsim::ChurnModel;
+
+fn main() {
+    let k = 5;
+    let epochs = 25;
+    println!("Churn resilience: n=50, k={k}, delay metric, efficiency vs churn rate\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "churn", "BR", "HybridBR", "k-Closest", "k-Random", "k-Regular"
+    );
+
+    for divisor in [1.0, 20.0, 150.0, 600.0] {
+        let mut model = ChurnModel::planetlab_like(50, 11);
+        model.timescale_divisor = divisor;
+        let trace = model.generate(epochs as f64 * 60.0);
+        let rate = trace.churn_rate();
+
+        let mut row = format!("{rate:>10.5}");
+        for policy in [
+            PolicyKind::BestResponse,
+            PolicyKind::HybridBestResponse { k2: 2 },
+            PolicyKind::Closest,
+            PolicyKind::Random,
+            PolicyKind::Regular,
+        ] {
+            let mut cfg = SimConfig::baseline(k, policy, Metric::DelayPing, 11);
+            cfg.epochs = epochs;
+            cfg.warmup_epochs = epochs / 3;
+            cfg.churn = Some(trace.clone());
+            let eff = run(cfg).mean_efficiency(epochs / 3);
+            row.push_str(&format!(" {:>10.5}", eff));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nReading the table: at mild churn pure BR wins — donating two links\n\
+         to the backbone costs performance for nothing. As the churn rate\n\
+         climbs toward a membership event every couple of seconds, HybridBR's\n\
+         always-repaired cycles keep efficiency up while the static heuristics\n\
+         (especially k-Regular, which never repairs) decay — the §4.4 story."
+    );
+}

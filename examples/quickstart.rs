@@ -1,0 +1,41 @@
+//! Quickstart: build a 50-node EGOIST overlay in simulation, compare all
+//! neighbor-selection policies on the delay metric, and print routing
+//! costs — the 60-second tour of the library.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use egoist::core::policies::PolicyKind;
+use egoist::core::sim::{full_mesh_reference, run, Metric, SimConfig};
+
+fn main() {
+    let k = 4;
+    let seed = 42;
+    println!("EGOIST quickstart: n=50 PlanetLab-like overlay, k={k}, delay metric\n");
+
+    // The full mesh (RON-style, k = n-1) lower-bounds every policy.
+    let base = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
+    let mesh = full_mesh_reference(&base);
+    println!("{:<22} {:>14} {:>14}", "policy", "mean cost (ms)", "vs full mesh");
+    println!("{:<22} {:>14.2} {:>14.2}", "full mesh (k=49)", mesh, 1.0);
+
+    for (label, policy) in [
+        ("BR (selfish)", PolicyKind::BestResponse),
+        ("BR(eps=0.1)", PolicyKind::EpsilonBestResponse { epsilon: 0.1 }),
+        ("HybridBR (k2=2)", PolicyKind::HybridBestResponse { k2: 2 }),
+        ("k-Closest", PolicyKind::Closest),
+        ("k-Random", PolicyKind::Random),
+        ("k-Regular", PolicyKind::Regular),
+    ] {
+        let mut cfg = base.clone();
+        cfg.policy = policy;
+        let res = run(cfg);
+        let cost = res.mean_individual_cost(base.warmup_epochs);
+        println!("{label:<22} {cost:>14.2} {:>14.2}", cost / mesh);
+    }
+
+    println!(
+        "\nSelfish neighbor selection (BR) should sit within a few percent of the\n\
+         full mesh while maintaining only {k} links per node instead of 49 —\n\
+         that is the paper's headline result (Fig. 1)."
+    );
+}

