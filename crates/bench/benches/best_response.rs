@@ -137,7 +137,10 @@ fn bench_full_sweep(c: &mut Criterion) {
     let d = DelayModel::planetlab_50(3).base().clone();
     for (label, kind) in [
         ("best_response", PolicyKind::BestResponse),
-        ("epsilon_br", PolicyKind::EpsilonBestResponse { epsilon: 0.1 }),
+        (
+            "epsilon_br",
+            PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
+        ),
         ("k_closest", PolicyKind::Closest),
         ("k_random", PolicyKind::Random),
     ] {

@@ -35,7 +35,10 @@ fn bench_codec(c: &mut Criterion) {
             b.iter(|| black_box(decode(&frame).unwrap()))
         });
     }
-    let ping = Message::Ping { from: NodeId(3), nonce: 0xABCD };
+    let ping = Message::Ping {
+        from: NodeId(3),
+        nonce: 0xABCD,
+    };
     let ping_frame = encode(&ping);
     group.bench_function("encode_ping", |b| b.iter(|| black_box(encode(&ping))));
     group.bench_function("decode_ping", |b| {

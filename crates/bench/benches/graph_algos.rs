@@ -63,7 +63,13 @@ fn bench_bandwidth_algos(c: &mut Criterion) {
             b.iter(|| black_box(max_flow(&g, NodeId(0), NodeId::from_index(n - 1))))
         });
         group.bench_with_input(BenchmarkId::new("edge_disjoint", n), &n, |b, _| {
-            b.iter(|| black_box(edge_disjoint_paths(&g, NodeId(0), NodeId::from_index(n - 1))))
+            b.iter(|| {
+                black_box(edge_disjoint_paths(
+                    &g,
+                    NodeId(0),
+                    NodeId::from_index(n - 1),
+                ))
+            })
         });
     }
     group.finish();

@@ -16,7 +16,11 @@ fn overlay(n: usize) -> DiGraph {
         for o in [1usize, 7, 31] {
             let j = (i + o) % n;
             if i != j {
-                g.add_edge(NodeId::from_index(i), NodeId::from_index(j), 1.0 + (o as f64));
+                g.add_edge(
+                    NodeId::from_index(i),
+                    NodeId::from_index(j),
+                    1.0 + (o as f64),
+                );
             }
         }
     }

@@ -65,7 +65,8 @@ fn main() {
         ("k-Closest", PolicyKind::Closest),
     ];
 
-    let underlays: Vec<(&str, Box<dyn Fn(u64) -> DistanceMatrix>)> = vec![
+    type UnderlayFactory = Box<dyn Fn(u64) -> DistanceMatrix>;
+    let underlays: Vec<(&str, UnderlayFactory)> = vec![
         (
             "PlanetLab-like",
             Box::new(|seed| DelayModel::planetlab_50(seed).base().clone()),

@@ -27,10 +27,7 @@ fn main() {
                 DelayModel::planetlab_50(seed).base().clone()
             } else {
                 DelayModel::from_spec(
-                    &egoist_netsim::PlanetLabSpec::uniform(
-                        egoist_netsim::Region::NorthAmerica,
-                        n,
-                    ),
+                    &egoist_netsim::PlanetLabSpec::uniform(egoist_netsim::Region::NorthAmerica, n),
                     &egoist_netsim::delay::DelayConfig::default(),
                     seed,
                 )

@@ -23,8 +23,7 @@ fn main() {
     for &k in &ks {
         let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
         for &seed in &seeds() {
-            let mut cfg =
-                SimConfig::baseline(k, PolicyKind::BestResponse, Metric::Bandwidth, seed);
+            let mut cfg = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::Bandwidth, seed);
             cfg.epochs = epochs();
             cfg.warmup_epochs = warmup();
             let br_bw = run(cfg.clone()).mean_bandwidth_utility(warmup());

@@ -18,10 +18,7 @@ fn main() {
         ("k-Regular", PolicyKind::Regular),
         ("k-Closest", PolicyKind::Closest),
     ];
-    let mut series: Vec<Series> = policies
-        .iter()
-        .map(|(l, _)| Series::new(*l))
-        .collect();
+    let mut series: Vec<Series> = policies.iter().map(|(l, _)| Series::new(*l)).collect();
     let mut mesh_series = Series::new("Full mesh");
 
     for &k in &ks {

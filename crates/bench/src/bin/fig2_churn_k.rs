@@ -33,8 +33,7 @@ fn main() {
             let horizon = epochs() as f64 * 60.0;
             let trace = model.generate(horizon);
 
-            let mut cfg =
-                SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
+            let mut cfg = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
             cfg.epochs = epochs();
             cfg.warmup_epochs = warmup();
             cfg.churn = Some(trace);

@@ -36,8 +36,7 @@ fn main() {
             let trace = model.generate(horizon);
             rates.push(trace.churn_rate());
 
-            let mut cfg =
-                SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
+            let mut cfg = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
             cfg.epochs = epochs();
             cfg.warmup_epochs = warmup();
             cfg.churn = Some(trace);

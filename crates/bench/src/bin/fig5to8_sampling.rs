@@ -165,40 +165,36 @@ fn main() {
                 let mut pool = sample.clone();
                 pool.shuffle(&mut rng);
                 pool.truncate(k);
-                ratios[0].push(
-                    realized_cost(newcomer, &pool, &d, &dist, &existing, penalty) / c_full,
-                );
+                ratios[0]
+                    .push(realized_cost(newcomer, &pool, &d, &dist, &existing, penalty) / c_full);
 
                 // k-Regular on the sample ring.
                 let wreg = regular_on_sample(&sample, k);
-                ratios[1].push(
-                    realized_cost(newcomer, &wreg, &d, &dist, &existing, penalty) / c_full,
-                );
+                ratios[1]
+                    .push(realized_cost(newcomer, &wreg, &d, &dist, &existing, penalty) / c_full);
 
                 // k-Closest within the sample.
                 let mut close = sample.clone();
                 close.sort_by(|a, b| {
-                    d.get(newcomer, *a).total_cmp(&d.get(newcomer, *b)).then(a.cmp(b))
+                    d.get(newcomer, *a)
+                        .total_cmp(&d.get(newcomer, *b))
+                        .then(a.cmp(b))
                 });
                 close.truncate(k);
-                ratios[2].push(
-                    realized_cost(newcomer, &close, &d, &dist, &existing, penalty) / c_full,
-                );
+                ratios[2]
+                    .push(realized_cost(newcomer, &close, &d, &dist, &existing, penalty) / c_full);
 
                 // BR on the random sample.
                 let wbr = br_on_sample(newcomer, &sample, &d, &dist, &alive, k, penalty);
-                ratios[3].push(
-                    realized_cost(newcomer, &wbr, &d, &dist, &existing, penalty) / c_full,
-                );
+                ratios[3]
+                    .push(realized_cost(newcomer, &wbr, &d, &dist, &existing, penalty) / c_full);
 
                 // BR on the topology-biased sample (m' = 3m).
                 let direct: Vec<f64> = d.row(newcomer.index()).to_vec();
-                let biased =
-                    topology_biased_sample(&existing, m, 3 * m, r, &g, &direct, &mut rng);
+                let biased = topology_biased_sample(&existing, m, 3 * m, r, &g, &direct, &mut rng);
                 let wtp = br_on_sample(newcomer, &biased, &d, &dist, &alive, k, penalty);
-                ratios[4].push(
-                    realized_cost(newcomer, &wtp, &d, &dist, &existing, penalty) / c_full,
-                );
+                ratios[4]
+                    .push(realized_cost(newcomer, &wtp, &d, &dist, &existing, penalty) / c_full);
             }
             for (idx, rs) in ratios.iter().enumerate() {
                 series[idx].push_samples(m as f64, rs);
@@ -206,7 +202,10 @@ fn main() {
         }
         let _ = stats::mean(&[0.0]);
         print_figure(
-            &format!("{title}: newcomer cost under sampling, n={}, k={k}, r={r}", n - 1),
+            &format!(
+                "{title}: newcomer cost under sampling, n={}, k={k}, r={r}",
+                n - 1
+            ),
             "m",
             "newcomer cost / BR-no-sampling cost",
             &series,

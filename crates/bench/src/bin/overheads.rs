@@ -15,8 +15,11 @@ use std::time::Duration;
 
 const BOOT: NodeId = NodeId(1000);
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() {
+fn main() {
+    tokio::runtime::block_on(run())
+}
+
+async fn run() {
     // Virtual time: the whole 20-minute run takes milliseconds.
     tokio::time::pause();
 
@@ -30,9 +33,9 @@ async fn main() {
     println!("# paper expectation: measurement ≈ (n-k-1)*320/T bps; LSA ≈ (192+32k)/T_a bps;");
     println!("#                    both tiny (tens to hundreds of bps per node)");
 
-    let delays = DelayModel::planetlab_50(7).base().submatrix(
-        &(0..n as u32).map(NodeId).collect::<Vec<_>>(),
-    );
+    let delays = DelayModel::planetlab_50(7)
+        .base()
+        .submatrix(&(0..n as u32).map(NodeId).collect::<Vec<_>>());
     let mut big = DistanceMatrix::off_diagonal(1001, 1.0);
     for i in 0..n {
         for j in 0..n {
@@ -75,7 +78,10 @@ async fn main() {
     let our_lsa_entry_bits = 8.0 * 8.0;
 
     println!();
-    println!("{:<28} {:>12} {:>12} {:>14}", "quantity", "measured", "analytic", "paper-formula");
+    println!(
+        "{:<28} {:>12} {:>12} {:>14}",
+        "quantity", "measured", "analytic", "paper-formula"
+    );
     println!(
         "{:<28} {:>12.1} {:>12.1} {:>14.1}",
         "ping bps/node",

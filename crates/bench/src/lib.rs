@@ -62,11 +62,7 @@ pub fn print_figure(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) 
     for x in xs {
         print!("{x:>10.5}");
         for s in series {
-            match s
-                .points
-                .iter()
-                .find(|p| (p.0 - x).abs() < 1e-12)
-            {
+            match s.points.iter().find(|p| (p.0 - x).abs() < 1e-12) {
                 Some(&(_, y, ci)) if ci > 0.0 => print!("  {:>14.4} ±{:>6.3}", y, ci),
                 Some(&(_, y, _)) => print!("  {:>22.4}", y),
                 None => print!("  {:>22}", "-"),
@@ -112,7 +108,9 @@ pub fn warmup() -> usize {
 
 /// Quick smoke mode for tests.
 pub fn fast() -> bool {
-    std::env::var("EGOIST_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EGOIST_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Print the paper's qualitative expectation for the figure, so that the

@@ -57,9 +57,9 @@ impl Coord {
     fn direction_from(&self, other: &Coord, tiebreak: f64) -> ([f64; DIM], f64) {
         let mut v = [0.0; DIM];
         let mut norm = 0.0;
-        for d in 0..DIM {
-            v[d] = self.pos[d] - other.pos[d];
-            norm += v[d] * v[d];
+        for (d, vd) in v.iter_mut().enumerate() {
+            *vd = self.pos[d] - other.pos[d];
+            norm += *vd * *vd;
         }
         norm = norm.sqrt();
         if norm < 1e-9 {
@@ -128,8 +128,8 @@ impl VivaldiNode {
         // Deterministic tiebreak derived from the sample count.
         let tiebreak = (self.samples as f64 * 0.618_033_988_749_895) % 1.0;
         let (dir, _) = self.coord.direction_from(peer_coord, tiebreak);
-        for d in 0..DIM {
-            self.coord.pos[d] += force * dir[d];
+        for (p, d) in self.coord.pos.iter_mut().zip(dir.iter()) {
+            *p += force * d;
         }
         // Height absorbs the non-Euclidean residual; never below a floor.
         self.coord.height = (self.coord.height + force * 0.1).max(0.05);
@@ -171,7 +171,10 @@ mod tests {
             n.observe(&peer, 0.5, 20.0);
         }
         let after = (n.coord.distance(&peer) - 20.0).abs();
-        assert!(after < before, "prediction error should shrink: {before} → {after}");
+        assert!(
+            after < before,
+            "prediction error should shrink: {before} → {after}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::{Coord, VivaldiNode};
 use egoist_graph::DistanceMatrix;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A simulated coordinate system over `n` nodes.
 #[derive(Debug)]
@@ -155,7 +155,10 @@ mod tests {
         let early = cs.median_relative_error(&truth);
         cs.converge(&truth, 57);
         let late = cs.median_relative_error(&truth);
-        assert!(late < early, "error should decrease: {early:.3} → {late:.3}");
+        assert!(
+            late < early,
+            "error should decrease: {early:.3} → {late:.3}"
+        );
     }
 
     #[test]
@@ -166,9 +169,9 @@ mod tests {
         let q = cs.query_all(3);
         assert_eq!(q.len(), 50);
         assert_eq!(q[3], 0.0);
-        for j in 0..50 {
+        for (j, &qj) in q.iter().enumerate() {
             if j != 3 {
-                assert!((q[j] - cs.coord(3).distance(&cs.coord(j))).abs() < 1e-12);
+                assert!((qj - cs.coord(3).distance(&cs.coord(j))).abs() < 1e-12);
             }
         }
     }

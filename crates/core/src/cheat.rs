@@ -208,7 +208,13 @@ mod tests {
             inflation: 0.4,
         };
         let announced = cfg.announced_matrix(&t);
-        let findings = audit(&announced, |u, v| t.get(u, v), &[NodeId(0), NodeId(1)], 3, 0.3);
+        let findings = audit(
+            &announced,
+            |u, v| t.get(u, v),
+            &[NodeId(0), NodeId(1)],
+            3,
+            0.3,
+        );
         assert!(findings[0].flagged);
         assert!(!findings[1].flagged);
     }

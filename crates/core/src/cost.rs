@@ -11,7 +11,7 @@
 use egoist_graph::apsp::apsp;
 use egoist_graph::dijkstra::dijkstra;
 use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
-use rand::RngExt;
+use rand::Rng;
 
 /// Preference weights `p_ij`. Row `i` holds node `i`'s preference for each
 /// destination; the diagonal is ignored. The paper's experiments use
@@ -36,7 +36,7 @@ impl Preferences {
     /// Zipf-skewed preferences: destination ranks are permuted per source
     /// (deterministically from `rng`), weight ∝ 1/rank^exponent, rows
     /// normalized to 1. Exercises the "BR leverages skew" claim.
-    pub fn zipf(n: usize, exponent: f64, rng: &mut impl RngExt) -> Self {
+    pub fn zipf(n: usize, exponent: f64, rng: &mut impl Rng) -> Self {
         let mut weights = vec![0.0; n * n];
         for i in 0..n {
             // Random permutation of destinations.
@@ -172,12 +172,7 @@ impl RoutingCosts {
     }
 
     /// Mean realized individual cost per node over alive destinations.
-    pub fn individual_costs(
-        &self,
-        prefs: &Preferences,
-        alive: &[bool],
-        penalty: f64,
-    ) -> Vec<f64> {
+    pub fn individual_costs(&self, prefs: &Preferences, alive: &[bool], penalty: f64) -> Vec<f64> {
         let n = self.realized_dist.len();
         (0..n)
             .map(|i| {
@@ -213,7 +208,12 @@ mod tests {
         let p = Preferences::zipf(10, 1.2, &mut rng);
         for i in 0..10 {
             let row = p.row(i);
-            let s: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, w)| w).sum();
+            let s: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, w)| w)
+                .sum();
             assert!((s - 1.0).abs() < 1e-9);
             let max = row.iter().cloned().fold(0.0, f64::max);
             assert!(max > 2.0 / 9.0, "skew should concentrate mass: {max}");

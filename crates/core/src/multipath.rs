@@ -145,10 +145,8 @@ pub fn bandwidth_overlay(bw: &BandwidthModel, k: usize, sweeps: usize) -> DiGrap
             let mut residual = g.clone();
             residual.clear_out_edges(me);
             let residual_bw = all_pairs_widest(&residual);
-            let candidates: Vec<NodeId> = (0..n)
-                .filter(|&j| j != i)
-                .map(NodeId::from_index)
-                .collect();
+            let candidates: Vec<NodeId> =
+                (0..n).filter(|&j| j != i).map(NodeId::from_index).collect();
             let direct: Vec<f64> = (0..n).map(|j| bw.available(i, j)).collect();
             let ctx = BwWiringContext {
                 node: me,

@@ -118,8 +118,8 @@ impl BwInstance {
                     continue;
                 }
                 let mut utility = 0.0;
-                for t in 0..nd {
-                    utility += self.weight[t] * best_per_dest[t].max(self.u(c, t));
+                for (t, (&w, &best)) in self.weight.iter().zip(best_per_dest.iter()).enumerate() {
+                    utility += w * best.max(self.u(c, t));
                 }
                 if utility > pick_util {
                     pick_util = utility;
@@ -272,10 +272,18 @@ mod tests {
             let j = (i + 1) % n;
             let j2 = (i + 3) % n;
             if i != j {
-                g.add_edge(NodeId::from_index(i), NodeId::from_index(j), bw.available(i, j));
+                g.add_edge(
+                    NodeId::from_index(i),
+                    NodeId::from_index(j),
+                    bw.available(i, j),
+                );
             }
             if i != j2 {
-                g.add_edge(NodeId::from_index(i), NodeId::from_index(j2), bw.available(i, j2));
+                g.add_edge(
+                    NodeId::from_index(i),
+                    NodeId::from_index(j2),
+                    bw.available(i, j2),
+                );
             }
         }
         g.clear_out_edges(NodeId(0));

@@ -45,10 +45,7 @@ impl BrInstance {
             .copied()
             .filter(|j| ctx.alive[j.index()])
             .collect();
-        let weight: Vec<f64> = dests
-            .iter()
-            .map(|&j| ctx.prefs.get(ctx.node, j))
-            .collect();
+        let weight: Vec<f64> = dests.iter().map(|&j| ctx.prefs.get(ctx.node, j)).collect();
         let nd = dests.len();
         let mut assign = vec![ctx.penalty; cand.len() * nd];
         for (c, &w) in cand.iter().enumerate() {
@@ -113,8 +110,8 @@ impl BrInstance {
                     continue;
                 }
                 let mut cost = 0.0;
-                for t in 0..nd {
-                    cost += self.weight[t] * best_per_dest[t].min(self.a(c, t));
+                for (t, (&w, &best)) in self.weight.iter().zip(best_per_dest.iter()).enumerate() {
+                    cost += w * best.min(self.a(c, t));
                 }
                 if cost < pick_cost {
                     pick_cost = cost;
@@ -202,12 +199,7 @@ impl BrInstance {
     /// Exhaustive optimum over all `C(|cand|, k)` subsets containing
     /// `forced`. Returns `None` when the enumeration would exceed
     /// `budget` subsets.
-    pub fn exhaustive(
-        &self,
-        k: usize,
-        forced: &[usize],
-        budget: u64,
-    ) -> Option<(Vec<usize>, f64)> {
+    pub fn exhaustive(&self, k: usize, forced: &[usize], budget: u64) -> Option<(Vec<usize>, f64)> {
         let k = k.min(self.cand.len());
         let free: Vec<usize> = (0..self.cand.len())
             .filter(|c| !forced.contains(c))
@@ -373,22 +365,13 @@ mod tests {
     /// A 5-node metric where node 0's best single neighbor is the hub.
     fn hub_matrix() -> DistanceMatrix {
         // Node 1 is a hub: cheap to everyone. Others expensive directly.
-        DistanceMatrix::from_fn(5, |i, j| {
-            if i == 1 || j == 1 {
-                1.0
-            } else {
-                10.0
-            }
-        })
+        DistanceMatrix::from_fn(5, |i, j| if i == 1 || j == 1 { 1.0 } else { 10.0 })
     }
 
     fn ring_wiring(n: usize) -> Wiring {
         let mut w = Wiring::empty(n);
         for i in 0..n {
-            w.rewire(
-                NodeId::from_index(i),
-                vec![NodeId::from_index((i + 1) % n)],
-            );
+            w.rewire(NodeId::from_index(i), vec![NodeId::from_index((i + 1) % n)]);
         }
         w
     }
@@ -428,7 +411,10 @@ mod tests {
         for k in 1..6 {
             let parts = CtxParts::build(&d, &w, NodeId(2), k);
             let (_, c) = BestResponse::local_search().solve(&parts.ctx());
-            assert!(c <= prev + 1e-9, "more links can't hurt: k={k}, {c} > {prev}");
+            assert!(
+                c <= prev + 1e-9,
+                "more links can't hurt: k={k}, {c} > {prev}"
+            );
             prev = c;
         }
     }

@@ -47,13 +47,7 @@ mod tests {
 
     #[test]
     fn picks_minimum_direct_costs() {
-        let d = DistanceMatrix::from_fn(6, |i, j| {
-            if i == 0 {
-                (j * 10) as f64
-            } else {
-                1.0
-            }
-        });
+        let d = DistanceMatrix::from_fn(6, |i, j| if i == 0 { (j * 10) as f64 } else { 1.0 });
         let w = Wiring::empty(6);
         let p = CtxParts::build(&d, &w, NodeId(0), 3);
         let n = KClosest.wire(&p.ctx(), &mut StdRng::seed_from_u64(0));

@@ -84,10 +84,7 @@ mod tests {
         let n = d.len();
         let mut w = Wiring::empty(n);
         for i in 0..n {
-            w.rewire(
-                NodeId::from_index(i),
-                vec![NodeId::from_index((i + 1) % n)],
-            );
+            w.rewire(NodeId::from_index(i), vec![NodeId::from_index((i + 1) % n)]);
         }
         let mut rng = StdRng::seed_from_u64(0);
         for i in 0..n {

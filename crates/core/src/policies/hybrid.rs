@@ -26,10 +26,7 @@ pub struct HybridBr {
 impl HybridBr {
     /// HybridBR donating `k2` links.
     pub fn new(k2: usize) -> Self {
-        HybridBr {
-            k2,
-            max_rounds: 64,
-        }
+        HybridBr { k2, max_rounds: 64 }
     }
 
     /// The donated out-links of `node` given the current alive set.

@@ -36,10 +36,7 @@ impl Policy for KRegular {
         let mut out = Vec::with_capacity(k);
         for off in offsets(n, k) {
             let target = NodeId::from_index((ctx.node.index() + off) % n);
-            if target != ctx.node
-                && ctx.alive[target.index()]
-                && !out.contains(&target)
-            {
+            if target != ctx.node && ctx.alive[target.index()] && !out.contains(&target) {
                 out.push(target);
             }
         }

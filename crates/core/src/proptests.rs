@@ -13,9 +13,8 @@ use rand::SeedableRng;
 /// Random positive cost matrix of size n.
 fn arb_matrix(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
     (4usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec(1u32..200u32, n * n).prop_map(move |v| {
-            DistanceMatrix::from_fn(n, |i, j| v[i * n + j] as f64)
-        })
+        proptest::collection::vec(1u32..200u32, n * n)
+            .prop_map(move |v| DistanceMatrix::from_fn(n, |i, j| v[i * n + j] as f64))
     })
 }
 

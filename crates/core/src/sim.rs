@@ -21,7 +21,9 @@
 
 use crate::cheat::CheatConfig;
 use crate::cost::{disconnection_penalty, node_cost_from_dists, Preferences, RoutingCosts};
-use crate::policies::bandwidth::{all_pairs_widest, bandwidth_best_response, k_widest, BwWiringContext};
+use crate::policies::bandwidth::{
+    all_pairs_widest, bandwidth_best_response, k_widest, BwWiringContext,
+};
 use crate::policies::hybrid::HybridBr;
 use crate::policies::{Policy, PolicyKind, WiringContext};
 use crate::wiring::Wiring;
@@ -113,7 +115,7 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    fn steady<'a>(&'a self, warmup: usize) -> impl Iterator<Item = &'a EpochSample> {
+    fn steady(&self, warmup: usize) -> impl Iterator<Item = &EpochSample> {
         self.samples.iter().filter(move |s| s.epoch >= warmup)
     }
 
@@ -129,13 +131,14 @@ impl SimResult {
 
     /// Steady-state per-node mean costs (vector over nodes).
     pub fn per_node_mean_cost(&self, warmup: usize) -> Vec<f64> {
-        let n = self.samples.first().map(|s| s.individual_cost.len()).unwrap_or(0);
+        let n = self
+            .samples
+            .first()
+            .map(|s| s.individual_cost.len())
+            .unwrap_or(0);
         (0..n)
             .map(|i| {
-                let xs: Vec<f64> = self
-                    .steady(warmup)
-                    .map(|s| s.individual_cost[i])
-                    .collect();
+                let xs: Vec<f64> = self.steady(warmup).map(|s| s.individual_cost[i]).collect();
                 crate::stats::mean(&xs)
             })
             .collect()
@@ -243,7 +246,9 @@ impl Simulator {
         match self.cfg.metric {
             Metric::DelayPing | Metric::DelayVivaldi => self.delays.current(),
             Metric::Load => {
-                let inst: Vec<f64> = (0..self.cfg.n).map(|i| self.loads.instantaneous(i)).collect();
+                let inst: Vec<f64> = (0..self.cfg.n)
+                    .map(|i| self.loads.instantaneous(i))
+                    .collect();
                 DistanceMatrix::from_fn(self.cfg.n, |_, j| inst[j])
             }
             Metric::Bandwidth => self.bandwidths.available_matrix(),
@@ -283,8 +288,12 @@ impl Simulator {
             Metric::Load => self.loads.sensed_all(),
             Metric::Bandwidth => (0..self.cfg.n)
                 .map(|j| {
-                    self.bandwidths
-                        .probe(i.index(), j, self.cfg.seed, (self.now as u64) << 8 | j as u64)
+                    self.bandwidths.probe(
+                        i.index(),
+                        j,
+                        self.cfg.seed,
+                        (self.now as u64) << 8 | j as u64,
+                    )
                 })
                 .collect(),
         }
@@ -439,9 +448,11 @@ impl Simulator {
                     penalty: 1.0,
                     current: &current,
                 };
-                self.cfg.policy.instantiate().wire(&ctx, &mut self.policy_rng)
+                self.cfg
+                    .policy
+                    .instantiate()
+                    .wire(&ctx, &mut self.policy_rng)
             }
-
         };
         self.wiring.rewire(i, new)
     }
@@ -477,7 +488,7 @@ impl Simulator {
     }
 
     /// Take the per-epoch measurement.
-    fn measure(&self, epoch: usize, rewirings: usize) -> EpochSample {
+    pub fn measure(&self, epoch: usize, rewirings: usize) -> EpochSample {
         let n = self.cfg.n;
         let alive_ids = self.alive_ids();
         let announced = self.announced_cost_matrix();
@@ -545,44 +556,125 @@ impl Simulator {
         }
     }
 
-    /// Run the full simulation.
-    pub fn run(mut self) -> SimResult {
+    /// Advance one full wiring epoch: staggered re-wiring turns, churn
+    /// and underlay drift, and the connectivity fix-up — everything
+    /// except the measurement. Returns the number of re-wirings.
+    ///
+    /// Epoch-stepping is the hook the closed-loop traffic engine
+    /// (`egoist-traffic`) uses: after each epoch it routes flows over
+    /// the current overlay, charges carried traffic into the underlay
+    /// models via [`Simulator::loads_mut`] / [`Simulator::bandwidths_mut`],
+    /// and only then calls [`Simulator::measure`] — so realized costs see
+    /// the congestion the overlay itself induced, and the next epoch's
+    /// announcements (EWMA load, probes) react to it.
+    pub fn run_epoch(&mut self, epoch: usize) -> usize {
         let n = self.cfg.n;
         let t_epoch = self.cfg.epoch_secs;
-        let mut samples = Vec::with_capacity(self.cfg.epochs);
-        for epoch in 0..self.cfg.epochs {
-            let mut rewirings = 0usize;
-            for turn in 0..n {
-                let t = epoch as f64 * t_epoch + (turn as f64 / n as f64) * t_epoch;
-                self.apply_churn(t);
-                self.advance_underlay(t);
-                // Vivaldi gossips continuously; one spread-out round/epoch.
-                if turn == 0 {
-                    if let Some(cs) = self.vivaldi.as_mut() {
-                        let delays = &self.delays;
-                        cs.gossip_round(|a, b| delays.delay(a, b));
-                    }
-                }
-                let i = NodeId::from_index(turn);
-                // Nodes that churned ON re-wire immediately at their first
-                // turn; others follow the delayed (epochal) schedule.
-                if self.alive[turn] && self.rewire(i) {
-                    rewirings += 1;
+        let mut rewirings = 0usize;
+        for turn in 0..n {
+            let t = epoch as f64 * t_epoch + (turn as f64 / n as f64) * t_epoch;
+            self.apply_churn(t);
+            self.advance_underlay(t);
+            // Vivaldi gossips continuously; one spread-out round/epoch.
+            if turn == 0 {
+                if let Some(cs) = self.vivaldi.as_mut() {
+                    let delays = &self.delays;
+                    cs.gossip_round(|a, b| delays.delay(a, b));
                 }
             }
-            self.enforce_cycle_if_needed();
+            let i = NodeId::from_index(turn);
+            // Nodes that churned ON re-wire immediately at their first
+            // turn; others follow the delayed (epochal) schedule.
+            if self.alive[turn] && self.rewire(i) {
+                rewirings += 1;
+            }
+        }
+        self.enforce_cycle_if_needed();
+        rewirings
+    }
+
+    /// Label describing this configuration in reports.
+    pub fn config_label(&self) -> String {
+        format!(
+            "{} k={} metric={:?} n={}",
+            self.cfg.policy.label(),
+            self.cfg.k,
+            self.cfg.metric,
+            self.cfg.n
+        )
+    }
+
+    /// Run the full simulation.
+    pub fn run(mut self) -> SimResult {
+        let mut samples = Vec::with_capacity(self.cfg.epochs);
+        for epoch in 0..self.cfg.epochs {
+            let rewirings = self.run_epoch(epoch);
             samples.push(self.measure(epoch, rewirings));
         }
         SimResult {
-            config_label: format!(
-                "{} k={} metric={:?} n={}",
-                self.cfg.policy.label(),
-                self.cfg.k,
-                self.cfg.metric,
-                self.cfg.n
-            ),
+            config_label: self.config_label(),
             samples,
         }
+    }
+
+    // --- state accessors for the data-plane / closed-loop coupling ---
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The current global wiring `S`.
+    pub fn wiring(&self) -> &Wiring {
+        &self.wiring
+    }
+
+    /// Per-node aliveness.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The delay underlay (true link propagation delays).
+    pub fn delays(&self) -> &DelayModel {
+        &self.delays
+    }
+
+    /// The node-load underlay.
+    pub fn loads(&self) -> &LoadModel {
+        &self.loads
+    }
+
+    /// Mutable node-load underlay — the traffic engine charges forwarding
+    /// load here.
+    pub fn loads_mut(&mut self) -> &mut LoadModel {
+        &mut self.loads
+    }
+
+    /// The bandwidth underlay.
+    pub fn bandwidths(&self) -> &BandwidthModel {
+        &self.bandwidths
+    }
+
+    /// Mutable bandwidth underlay — the traffic engine charges carried
+    /// traffic here.
+    pub fn bandwidths_mut(&mut self) -> &mut BandwidthModel {
+        &mut self.bandwidths
+    }
+
+    /// Preference weights.
+    pub fn prefs(&self) -> &Preferences {
+        &self.prefs
+    }
+
+    /// Snapshot of the announced edge-cost matrix (what routing and
+    /// wiring decisions consume).
+    pub fn announced_matrix(&self) -> DistanceMatrix {
+        self.announced_cost_matrix()
+    }
+
+    /// Snapshot of the true edge-cost matrix for the active metric.
+    pub fn true_matrix(&self) -> DistanceMatrix {
+        self.true_cost_matrix()
     }
 }
 
@@ -667,10 +759,7 @@ mod tests {
     fn bandwidth_br_beats_random() {
         let br = run(quick(3, PolicyKind::BestResponse, Metric::Bandwidth));
         let rnd = run(quick(3, PolicyKind::Random, Metric::Bandwidth));
-        let (ub, ur) = (
-            br.mean_bandwidth_utility(3),
-            rnd.mean_bandwidth_utility(3),
-        );
+        let (ub, ur) = (br.mean_bandwidth_utility(3), rnd.mean_bandwidth_utility(3));
         assert!(ub > ur, "BR bw {ub:.2} should beat random {ur:.2}");
     }
 
@@ -685,13 +774,13 @@ mod tests {
     fn vivaldi_mode_close_to_ping_mode() {
         let ping = run(quick(4, PolicyKind::BestResponse, Metric::DelayPing));
         let vival = run(quick(4, PolicyKind::BestResponse, Metric::DelayVivaldi));
-        let (cp, cv) = (
-            ping.mean_individual_cost(3),
-            vival.mean_individual_cost(3),
-        );
+        let (cp, cv) = (ping.mean_individual_cost(3), vival.mean_individual_cost(3));
         // Vivaldi estimates are noisier, so BR-with-vivaldi is worse, but
         // not catastrophically (the paper still sees BR win under pyxida).
-        assert!(cv >= cp * 0.9, "vivaldi can't beat ping by much: {cv} vs {cp}");
+        assert!(
+            cv >= cp * 0.9,
+            "vivaldi can't beat ping by much: {cv} vs {cp}"
+        );
         assert!(cv <= cp * 2.0, "vivaldi should remain usable: {cv} vs {cp}");
     }
 
@@ -703,8 +792,16 @@ mod tests {
             n: 20,
             horizon: 8.0 * 60.0,
             events: vec![
-                ChurnEvent { at: 70.0, node: NodeId(5), up: false },
-                ChurnEvent { at: 200.0, node: NodeId(5), up: true },
+                ChurnEvent {
+                    at: 70.0,
+                    node: NodeId(5),
+                    up: false,
+                },
+                ChurnEvent {
+                    at: 200.0,
+                    node: NodeId(5),
+                    up: true,
+                },
             ],
         });
         let res = run(cfg);
@@ -769,7 +866,11 @@ mod tests {
         let mut model = ChurnModel::planetlab_like(20, 3);
         model.timescale_divisor = 400.0;
         let trace = model.generate(8.0 * 60.0);
-        let mut cfg = quick(5, PolicyKind::HybridBestResponse { k2: 2 }, Metric::DelayPing);
+        let mut cfg = quick(
+            5,
+            PolicyKind::HybridBestResponse { k2: 2 },
+            Metric::DelayPing,
+        );
         cfg.churn = Some(trace);
         let res = run(cfg);
         // Efficiency should stay meaningfully positive under heavy churn.

@@ -157,9 +157,18 @@ mod tests {
     #[test]
     fn links_changed_counts_swaps() {
         let old = [NodeId(1), NodeId(2), NodeId(3)];
-        assert_eq!(Wiring::links_changed(&old, &[NodeId(1), NodeId(2), NodeId(3)]), 0);
-        assert_eq!(Wiring::links_changed(&old, &[NodeId(1), NodeId(2), NodeId(4)]), 1);
-        assert_eq!(Wiring::links_changed(&old, &[NodeId(4), NodeId(5), NodeId(6)]), 3);
+        assert_eq!(
+            Wiring::links_changed(&old, &[NodeId(1), NodeId(2), NodeId(3)]),
+            0
+        );
+        assert_eq!(
+            Wiring::links_changed(&old, &[NodeId(1), NodeId(2), NodeId(4)]),
+            1
+        );
+        assert_eq!(
+            Wiring::links_changed(&old, &[NodeId(4), NodeId(5), NodeId(6)]),
+            3
+        );
         assert_eq!(Wiring::links_changed(&old, &[]), 3);
     }
 

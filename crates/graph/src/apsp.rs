@@ -71,11 +71,7 @@ mod tests {
     fn ring(n: usize) -> DiGraph {
         let mut g = DiGraph::new(n);
         for i in 0..n {
-            g.add_edge(
-                NodeId::from_index(i),
-                NodeId::from_index((i + 1) % n),
-                1.0,
-            );
+            g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1.0);
         }
         g
     }
@@ -125,8 +121,8 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(4), 0.25);
         let d = apsp(&g);
         let col = distances_to(&g, NodeId(4));
-        for i in 0..5 {
-            assert!((col[i] - d.at(i, 4)).abs() < 1e-12);
+        for (i, &c) in col.iter().enumerate() {
+            assert!((c - d.at(i, 4)).abs() < 1e-12);
         }
     }
 }

@@ -23,9 +23,7 @@ pub fn ring_edges(alive: &[NodeId]) -> Vec<(NodeId, NodeId)> {
     }
     let mut sorted: Vec<NodeId> = alive.to_vec();
     sorted.sort_unstable();
-    (0..m)
-        .map(|i| (sorted[i], sorted[(i + 1) % m]))
-        .collect()
+    (0..m).map(|i| (sorted[i], sorted[(i + 1) % m])).collect()
 }
 
 /// The donated-link backbone of HybridBR: `k2/2` bidirectional cycles.

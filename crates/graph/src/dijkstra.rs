@@ -151,7 +151,10 @@ mod tests {
     fn prefers_cheaper_two_hop_path() {
         let sp = dijkstra(&line_with_shortcut(), NodeId(0));
         assert_eq!(sp.dist[2], 2.0);
-        assert_eq!(sp.path_to(NodeId(2)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            sp.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]

@@ -49,8 +49,10 @@ pub fn vertex_disjoint_paths(g: &DiGraph, s: NodeId, t: NodeId) -> usize {
             1.0,
         );
     }
-    let f = FlowNetwork::from_graph(&split)
-        .max_flow(NodeId::from_index(s.index() + n), NodeId::from_index(t.index()));
+    let f = FlowNetwork::from_graph(&split).max_flow(
+        NodeId::from_index(s.index() + n),
+        NodeId::from_index(t.index()),
+    );
     f.round() as usize
 }
 
@@ -97,7 +99,16 @@ mod tests {
         // 0→1→2→3→5 and 0→2 ... wait, construct explicitly:
         // 0→1→2→4→5 and 0→3→2→6→5: share vertex 2 only.
         let mut g = DiGraph::new(7);
-        for (a, b) in [(0, 1), (1, 2), (2, 4), (4, 5), (0, 3), (3, 2), (2, 6), (6, 5)] {
+        for (a, b) in [
+            (0, 1),
+            (1, 2),
+            (2, 4),
+            (4, 5),
+            (0, 3),
+            (3, 2),
+            (2, 6),
+            (6, 5),
+        ] {
             g.add_edge(NodeId(a), NodeId(b), 1.0);
         }
         assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(5)), 2);

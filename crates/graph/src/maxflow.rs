@@ -74,14 +74,7 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        t: usize,
-        pushed: f64,
-        level: &[i32],
-        iter: &mut [usize],
-    ) -> f64 {
+    fn dfs(&mut self, u: usize, t: usize, pushed: f64, level: &[i32], iter: &mut [usize]) -> f64 {
         if u == t {
             return pushed;
         }

@@ -21,7 +21,7 @@
 
 use crate::rng::{derive, derive_indexed};
 use egoist_graph::DistanceMatrix;
-use rand::RngExt;
+use rand::Rng;
 use rand_distr::{Distribution, LogNormal, Normal};
 
 /// Tuning knobs for the bandwidth model.
@@ -70,6 +70,10 @@ pub struct BandwidthModel {
     down: Vec<f64>,
     /// Per-directed-pair OU state for the availability fraction.
     util_x: Vec<f64>,
+    /// Overlay traffic currently carried on each directed pair (Mbps),
+    /// charged by `egoist-traffic`; reduces what probes and routing see —
+    /// the closed loop's bandwidth side.
+    consumed: Vec<f64>,
     cfg: BandwidthConfig,
     n: usize,
     pub now: f64,
@@ -78,8 +82,7 @@ pub struct BandwidthModel {
 impl BandwidthModel {
     /// Build with lognormal access capacities.
     pub fn new(n: usize, cfg: &BandwidthConfig, seed: u64) -> Self {
-        let dist =
-            LogNormal::new(cfg.capacity_mu, cfg.capacity_sigma).expect("valid lognormal");
+        let dist = LogNormal::new(cfg.capacity_mu, cfg.capacity_sigma).expect("valid lognormal");
         let mut rng = derive(seed, "bw-caps");
         let up: Vec<f64> = (0..n)
             .map(|_| dist.sample(&mut rng).min(cfg.capacity_cap))
@@ -91,6 +94,7 @@ impl BandwidthModel {
             up,
             down,
             util_x: vec![0.0; n * n],
+            consumed: vec![0.0; n * n],
             cfg: cfg.clone(),
             n,
             now: 0.0,
@@ -113,7 +117,7 @@ impl BandwidthModel {
     }
 
     /// Advance the cross-traffic processes by `dt` seconds.
-    pub fn advance(&mut self, dt: f64, rng: &mut impl RngExt) {
+    pub fn advance(&mut self, dt: f64, rng: &mut impl Rng) {
         if dt <= 0.0 {
             return;
         }
@@ -135,12 +139,40 @@ impl BandwidthModel {
         1.0 / (1.0 + (-z).exp())
     }
 
-    /// True available bandwidth (Mbps) of the direct path `i → j`.
+    /// True available bandwidth (Mbps) of the direct path `i → j`:
+    /// cross-traffic-scaled capacity minus carried overlay traffic.
     pub fn available(&self, i: usize, j: usize) -> f64 {
         if i == j {
             return f64::INFINITY;
         }
+        let raw = self.up[i].min(self.down[j]) * self.avail_fraction(i, j);
+        (raw - self.consumed[i * self.n + j]).max(0.0)
+    }
+
+    /// Available bandwidth ignoring carried overlay traffic (the raw
+    /// capacity the traffic engine allocates from).
+    pub fn unloaded_available(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return f64::INFINITY;
+        }
         self.up[i].min(self.down[j]) * self.avail_fraction(i, j)
+    }
+
+    /// Replace the carried-traffic matrix (row-major `n × n`, Mbps).
+    pub fn set_consumed(&mut self, consumed: &[f64]) {
+        assert_eq!(consumed.len(), self.n * self.n, "consumed matrix size");
+        debug_assert!(consumed.iter().all(|c| c.is_finite() && *c >= 0.0));
+        self.consumed.copy_from_slice(consumed);
+    }
+
+    /// Carried overlay traffic on the directed pair (Mbps).
+    pub fn consumed(&self, i: usize, j: usize) -> f64 {
+        self.consumed[i * self.n + j]
+    }
+
+    /// Drop all carried traffic (open-loop operation).
+    pub fn clear_consumed(&mut self) {
+        self.consumed.fill(0.0);
     }
 
     /// Snapshot matrix of true available bandwidths (0 on the diagonal so
@@ -218,7 +250,10 @@ mod tests {
         let truth = m.available(0, 1);
         let est: Vec<f64> = (0..200).map(|s| m.probe(0, 1, 3, s)).collect();
         let mean = est.iter().sum::<f64>() / est.len() as f64;
-        assert!((mean - truth).abs() / truth < 0.05, "mean {mean} vs {truth}");
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs {truth}"
+        );
         assert!(est.iter().any(|&e| (e - truth).abs() / truth > 0.02));
     }
 
@@ -258,5 +293,24 @@ mod tests {
         let a = BandwidthModel::with_defaults(10, 7).available_matrix();
         let b = BandwidthModel::with_defaults(10, 7).available_matrix();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consumed_traffic_reduces_availability_and_probes() {
+        let mut m = BandwidthModel::with_defaults(6, 8);
+        let before = m.available(0, 1);
+        let mut consumed = vec![0.0; 36];
+        consumed[1] = before * 0.5;
+        m.set_consumed(&consumed);
+        assert!((m.available(0, 1) - before * 0.5).abs() < 1e-9);
+        assert_eq!(m.unloaded_available(0, 1), before);
+        assert_eq!(m.consumed(0, 1), before * 0.5);
+        // Saturating the pair floors availability at zero.
+        consumed[1] = before * 10.0;
+        m.set_consumed(&consumed);
+        assert_eq!(m.available(0, 1), 0.0);
+        assert!(m.probe(0, 1, 8, 0) <= 1e-9, "probe of a saturated link");
+        m.clear_consumed();
+        assert_eq!(m.available(0, 1), before);
     }
 }

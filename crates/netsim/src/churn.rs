@@ -16,7 +16,7 @@
 
 use crate::rng::derive_indexed;
 use egoist_graph::NodeId;
-use rand::RngExt;
+use rand::Rng;
 use rand_distr::{Distribution, Exp, Pareto};
 
 /// A membership change.
@@ -40,11 +40,11 @@ pub enum Durations {
 }
 
 impl Durations {
-    fn sample(&self, rng: &mut impl RngExt) -> f64 {
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
         match *self {
-            Durations::Exponential { mean } => {
-                Exp::new(1.0 / mean.max(1e-9)).expect("positive rate").sample(rng)
-            }
+            Durations::Exponential { mean } => Exp::new(1.0 / mean.max(1e-9))
+                .expect("positive rate")
+                .sample(rng),
             Durations::Pareto { scale, shape } => {
                 Pareto::new(scale, shape).expect("valid pareto").sample(rng)
             }

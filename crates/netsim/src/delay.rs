@@ -21,7 +21,7 @@
 use crate::planetlab::PlanetLabSpec;
 use crate::rng::{derive, derive_indexed};
 use egoist_graph::DistanceMatrix;
-use rand::RngExt;
+use rand::Rng;
 use rand_distr::{Distribution, LogNormal, Normal};
 
 /// Tuning knobs for the delay generator.
@@ -53,7 +53,7 @@ impl Default for DelayConfig {
         DelayConfig {
             congested_fraction: 0.15,
             congested_penalty: 100.0,
-            access_mu: 1.2,  // exp(1.2) ≈ 3.3 ms median access penalty
+            access_mu: 1.2, // exp(1.2) ≈ 3.3 ms median access penalty
             access_sigma: 1.0,
             asymmetry: 0.15,
             jitter_theta: 1.0 / 120.0, // ~2 min correlation time
@@ -109,8 +109,8 @@ impl DelayModel {
         }
 
         // Per-node access penalties.
-        let access_dist = LogNormal::new(cfg.access_mu, cfg.access_sigma)
-            .expect("valid lognormal parameters");
+        let access_dist =
+            LogNormal::new(cfg.access_mu, cfg.access_sigma).expect("valid lognormal parameters");
         let mut access: Vec<f64> = (0..n).map(|_| access_dist.sample(&mut rng)).collect();
         let n_congested = ((n as f64) * cfg.congested_fraction).round() as usize;
         // Deterministically congest the nodes with the highest draw order:
@@ -186,7 +186,7 @@ impl DelayModel {
     }
 
     /// Advance the jitter processes by `dt` seconds (exact OU transition).
-    pub fn advance(&mut self, dt: f64, rng: &mut impl RngExt) {
+    pub fn advance(&mut self, dt: f64, rng: &mut impl Rng) {
         if dt <= 0.0 {
             return;
         }

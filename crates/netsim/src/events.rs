@@ -72,7 +72,11 @@ impl<E> EventQueue<E> {
 
     /// Schedule `payload` at absolute time `at` (must not be in the past).
     pub fn schedule_at(&mut self, at: f64, payload: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, payload });

@@ -9,7 +9,7 @@
 
 use crate::rng::derive;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// What happened to a frame passed through the injector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

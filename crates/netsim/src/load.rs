@@ -14,7 +14,7 @@
 //! log space around a Pareto-distributed per-node baseline.
 
 use crate::rng::{derive, derive_indexed};
-use rand::RngExt;
+use rand::Rng;
 use rand_distr::{Distribution, Normal, Pareto};
 
 /// Tuning knobs for the load model.
@@ -63,6 +63,11 @@ struct NodeLoad {
 pub struct LoadModel {
     nodes: Vec<NodeLoad>,
     cfg: LoadConfig,
+    /// Externally-induced load per node (e.g. overlay traffic forwarding
+    /// work charged by `egoist-traffic`). Added on top of the background
+    /// OU process; the EWMA sensor sees it, so announced load costs react
+    /// to carried traffic — the closed loop.
+    induced: Vec<f64>,
     pub now: f64,
 }
 
@@ -71,7 +76,7 @@ impl LoadModel {
     pub fn new(n: usize, cfg: &LoadConfig, seed: u64) -> Self {
         let pareto =
             Pareto::new(cfg.pareto_scale, cfg.pareto_shape).expect("valid pareto parameters");
-        let nodes = (0..n)
+        let nodes: Vec<NodeLoad> = (0..n)
             .map(|i| {
                 let mut rng = derive_indexed(seed, "load-node", i as u64);
                 let base = pareto.sample(&mut rng).min(cfg.baseline_cap);
@@ -83,6 +88,7 @@ impl LoadModel {
             })
             .collect();
         LoadModel {
+            induced: vec![0.0; nodes.len()],
             nodes,
             cfg: cfg.clone(),
             now: 0.0,
@@ -106,7 +112,7 @@ impl LoadModel {
 
     /// Advance the load processes by `dt` seconds and refresh the EWMA
     /// sensors once (i.e. one sampling interval elapses).
-    pub fn advance(&mut self, dt: f64, rng: &mut impl RngExt) {
+    pub fn advance(&mut self, dt: f64, rng: &mut impl Rng) {
         if dt <= 0.0 {
             return;
         }
@@ -114,17 +120,37 @@ impl LoadModel {
         let std_scale = self.cfg.sigma * (1.0 - decay * decay).sqrt();
         let normal = Normal::new(0.0, 1.0).expect("unit normal");
         let alpha = self.cfg.ewma_alpha;
-        for nl in &mut self.nodes {
+        for (i, nl) in self.nodes.iter_mut().enumerate() {
             nl.x = nl.x * decay + std_scale * normal.sample(rng);
-            let instant = (nl.log_base + nl.x).exp();
+            let instant = (nl.log_base + nl.x).exp() + self.induced[i];
             nl.ewma = alpha * instant + (1.0 - alpha) * nl.ewma;
         }
         self.now += dt;
     }
 
-    /// Instantaneous (true) load of node `i`.
+    /// Instantaneous (true) load of node `i`: background process plus any
+    /// externally induced load.
     pub fn instantaneous(&self, i: usize) -> f64 {
-        (self.nodes[i].log_base + self.nodes[i].x).exp()
+        (self.nodes[i].log_base + self.nodes[i].x).exp() + self.induced[i]
+    }
+
+    /// Replace the externally-induced per-node load (length must be `n`).
+    /// The EWMA sensor picks it up on subsequent [`LoadModel::advance`]
+    /// calls, so announcements lag truth exactly like the real sensor.
+    pub fn set_induced(&mut self, induced: &[f64]) {
+        assert_eq!(induced.len(), self.nodes.len(), "induced load length");
+        debug_assert!(induced.iter().all(|l| l.is_finite() && *l >= 0.0));
+        self.induced.copy_from_slice(induced);
+    }
+
+    /// Externally-induced load of node `i`.
+    pub fn induced(&self, i: usize) -> f64 {
+        self.induced[i]
+    }
+
+    /// Drop all induced load (open-loop operation).
+    pub fn clear_induced(&mut self) {
+        self.induced.fill(0.0);
     }
 
     /// The EWMA-sensed load of node `i` (what EGOIST announces).
@@ -213,5 +239,33 @@ mod tests {
         let a = LoadModel::warmed(10, 9, 10, 60.0).sensed_all();
         let b = LoadModel::warmed(10, 9, 10, 60.0).sensed_all();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_load_raises_truth_immediately_and_sensor_with_lag() {
+        let mut m = LoadModel::with_defaults(4, 5);
+        let mut rng = crate::rng::derive(5, "ind");
+        let base = m.instantaneous(2);
+        let sensed0 = m.sensed(2);
+        let mut induced = vec![0.0; 4];
+        induced[2] = 10.0;
+        m.set_induced(&induced);
+        // Truth jumps at once; the EWMA sensor has not sampled yet.
+        assert!((m.instantaneous(2) - (base + 10.0)).abs() < 1e-9);
+        assert_eq!(m.sensed(2), sensed0);
+        // After a few sampling intervals the sensor converges upward.
+        for _ in 0..12 {
+            m.advance(60.0, &mut rng);
+        }
+        assert!(
+            m.sensed(2) > sensed0 + 5.0,
+            "sensor should approach induced load: {} vs {}",
+            m.sensed(2),
+            sensed0
+        );
+        let with_traffic = m.instantaneous(2);
+        m.clear_induced();
+        assert!((with_traffic - m.instantaneous(2) - 10.0).abs() < 1e-9);
+        assert_eq!(m.induced(2), 0.0);
     }
 }

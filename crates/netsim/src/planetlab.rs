@@ -6,7 +6,7 @@
 //! reproduce those populations; geographic placement feeds the delay
 //! model.
 
-use rand::RngExt;
+use rand::Rng;
 
 /// Continent-scale region of a site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -115,7 +115,7 @@ impl PlanetLabSpec {
     }
 
     /// Place each site uniformly inside its region disk.
-    pub fn place(&self, rng: &mut impl RngExt) -> Vec<(f64, f64)> {
+    pub fn place(&self, rng: &mut impl Rng) -> Vec<(f64, f64)> {
         let mut pts = Vec::with_capacity(self.n());
         for &(region, count) in &self.counts {
             let (cx, cy) = region.center();
@@ -141,7 +141,10 @@ mod tests {
         let s = PlanetLabSpec::paper_50();
         assert_eq!(s.n(), 50);
         let regs = s.regions();
-        assert_eq!(regs.iter().filter(|&&r| r == Region::NorthAmerica).count(), 30);
+        assert_eq!(
+            regs.iter().filter(|&&r| r == Region::NorthAmerica).count(),
+            30
+        );
         assert_eq!(regs.iter().filter(|&&r| r == Region::Europe).count(), 11);
         assert_eq!(regs.iter().filter(|&&r| r == Region::Asia).count(), 7);
     }

@@ -39,7 +39,7 @@ pub fn derive_indexed(seed: u64, stream: &str, index: u64) -> StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rand::Rng;
 
     #[test]
     fn same_inputs_same_stream() {

@@ -18,7 +18,7 @@
 use crate::rng::derive;
 use egoist_graph::apsp::apsp;
 use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
-use rand::RngExt;
+use rand::Rng;
 
 /// Waxman model parameters.
 #[derive(Clone, Debug)]
@@ -139,7 +139,7 @@ pub fn barabasi_albert_delays(n: usize, cfg: &BaConfig, seed: u64) -> DistanceMa
     apsp(&g)
 }
 
-fn link_delay(cfg: &BaConfig, rng: &mut impl RngExt) -> f64 {
+fn link_delay(cfg: &BaConfig, rng: &mut impl Rng) -> f64 {
     if cfg.jitter <= 0.0 {
         return cfg.hop_delay;
     }
@@ -163,9 +163,8 @@ fn connect_components(g: &mut DiGraph, pts: &[(f64, f64)]) {
         let mut best_d = f64::INFINITY;
         for i in 0..n {
             if reach[i] {
-                let d = ((pts[i].0 - pts[orphan].0).powi(2)
-                    + (pts[i].1 - pts[orphan].1).powi(2))
-                .sqrt();
+                let d = ((pts[i].0 - pts[orphan].0).powi(2) + (pts[i].1 - pts[orphan].1).powi(2))
+                    .sqrt();
                 if d < best_d {
                     best_d = d;
                     best = Some(i);

@@ -106,8 +106,7 @@ impl Auditor {
                 }
             }
         }
-        let flagged = checked > 0
-            && (suspicious as f64) >= self.cfg.flag_fraction * checked as f64;
+        let flagged = checked > 0 && (suspicious as f64) >= self.cfg.flag_fraction * checked as f64;
         AuditVerdict {
             origin,
             links_checked: checked,
@@ -147,11 +146,7 @@ mod tests {
 
     /// Build an LSDB where every node announces its 3 ring links with
     /// true costs, except the liars who inflate by `factor`.
-    fn lsdb_with_liars(
-        d: &egoist_graph::DistanceMatrix,
-        liars: &[u32],
-        factor: f32,
-    ) -> Lsdb {
+    fn lsdb_with_liars(d: &egoist_graph::DistanceMatrix, liars: &[u32], factor: f32) -> Lsdb {
         let n = d.len();
         let mut db = Lsdb::new(1e9);
         for i in 0..n {
@@ -218,10 +213,7 @@ mod tests {
             "the 4x liar must be flagged; flagged = {flagged:?}"
         );
         // False positives stay rare (coordinate error can cause a few).
-        assert!(
-            flagged.len() <= 5,
-            "too many false positives: {flagged:?}"
-        );
+        assert!(flagged.len() <= 5, "too many false positives: {flagged:?}");
     }
 
     #[test]

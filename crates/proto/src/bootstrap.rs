@@ -95,66 +95,85 @@ mod tests {
 
     const BOOT_ID: NodeId = NodeId(99);
 
-    #[tokio::test(start_paused = true)]
-    async fn first_joiner_gets_empty_list_then_grows() {
-        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
-        let registry = Registry::default();
-        let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
-        tokio::spawn(server.run());
+    #[test]
+    fn first_joiner_gets_empty_list_then_grows() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+            let registry = Registry::default();
+            let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
+            tokio::spawn(server.run());
 
-        let mut a = net.endpoint(NodeId(0));
-        a.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(0) }))
+            let mut a = net.endpoint(NodeId(0));
+            a.send(
+                BOOT_ID,
+                encode(&Message::BootstrapRequest { from: NodeId(0) }),
+            )
             .await
             .unwrap();
-        let (_, frame) = a.recv().await.unwrap();
-        assert_eq!(
-            decode(&frame).unwrap(),
-            Message::BootstrapResponse { peers: vec![] }
-        );
+            let (_, frame) = a.recv().await.unwrap();
+            assert_eq!(
+                decode(&frame).unwrap(),
+                Message::BootstrapResponse { peers: vec![] }
+            );
 
-        let mut b = net.endpoint(NodeId(1));
-        b.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(1) }))
+            let mut b = net.endpoint(NodeId(1));
+            b.send(
+                BOOT_ID,
+                encode(&Message::BootstrapRequest { from: NodeId(1) }),
+            )
             .await
             .unwrap();
-        let (_, frame) = b.recv().await.unwrap();
-        assert_eq!(
-            decode(&frame).unwrap(),
-            Message::BootstrapResponse { peers: vec![NodeId(0)] }
-        );
-        assert_eq!(registry.members(), vec![NodeId(0), NodeId(1)]);
+            let (_, frame) = b.recv().await.unwrap();
+            assert_eq!(
+                decode(&frame).unwrap(),
+                Message::BootstrapResponse {
+                    peers: vec![NodeId(0)]
+                }
+            );
+            assert_eq!(registry.members(), vec![NodeId(0), NodeId(1)]);
+        });
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn leave_removes_from_registry() {
-        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
-        let registry = Registry::default();
-        registry.register(NodeId(3));
-        registry.register(NodeId(4));
-        let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
-        tokio::spawn(server.run());
+    #[test]
+    fn leave_removes_from_registry() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+            let registry = Registry::default();
+            registry.register(NodeId(3));
+            registry.register(NodeId(4));
+            let server = BootstrapServer::new(net.endpoint(BOOT_ID), registry.clone());
+            tokio::spawn(server.run());
 
-        let c = net.endpoint(NodeId(3));
-        c.send(BOOT_ID, encode(&Message::Leave { from: NodeId(3) }))
-            .await
-            .unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(10)).await;
-        assert_eq!(registry.members(), vec![NodeId(4)]);
+            let c = net.endpoint(NodeId(3));
+            c.send(BOOT_ID, encode(&Message::Leave { from: NodeId(3) }))
+                .await
+                .unwrap();
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+            assert_eq!(registry.members(), vec![NodeId(4)]);
+        });
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn garbage_frames_ignored() {
-        let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
-        let server = BootstrapServer::new(net.endpoint(BOOT_ID), Registry::default());
-        tokio::spawn(server.run());
-        let mut a = net.endpoint(NodeId(0));
-        a.send(BOOT_ID, Bytes::from_static(b"not a frame")).await.unwrap();
-        a.send(BOOT_ID, encode(&Message::BootstrapRequest { from: NodeId(0) }))
+    #[test]
+    fn garbage_frames_ignored() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(DistanceMatrix::off_diagonal(100, 1.0));
+            let server = BootstrapServer::new(net.endpoint(BOOT_ID), Registry::default());
+            tokio::spawn(server.run());
+            let mut a = net.endpoint(NodeId(0));
+            a.send(BOOT_ID, Bytes::from_static(b"not a frame"))
+                .await
+                .unwrap();
+            a.send(
+                BOOT_ID,
+                encode(&Message::BootstrapRequest { from: NodeId(0) }),
+            )
             .await
             .unwrap();
-        let (_, frame) = a.recv().await.unwrap();
-        assert!(matches!(
-            decode(&frame).unwrap(),
-            Message::BootstrapResponse { .. }
-        ));
+            let (_, frame) = a.recv().await.unwrap();
+            assert!(matches!(
+                decode(&frame).unwrap(),
+                Message::BootstrapResponse { .. }
+            ));
+        });
     }
 }

@@ -190,7 +190,9 @@ pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
             if buf.remaining() < 4 {
                 return Err(DecodeError::Truncated);
             }
-            Message::BootstrapRequest { from: NodeId(buf.get_u32()) }
+            Message::BootstrapRequest {
+                from: NodeId(buf.get_u32()),
+            }
         }
         tag::BOOTSTRAP_RESPONSE => {
             if buf.remaining() < 2 {
@@ -207,7 +209,9 @@ pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
             if buf.remaining() < 4 {
                 return Err(DecodeError::Truncated);
             }
-            Message::Hello { from: NodeId(buf.get_u32()) }
+            Message::Hello {
+                from: NodeId(buf.get_u32()),
+            }
         }
         tag::LSDB_SYNC => {
             if buf.remaining() < 2 {
@@ -238,13 +242,17 @@ pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
             if buf.remaining() < 4 {
                 return Err(DecodeError::Truncated);
             }
-            Message::Heartbeat { from: NodeId(buf.get_u32()) }
+            Message::Heartbeat {
+                from: NodeId(buf.get_u32()),
+            }
         }
         tag::LEAVE => {
             if buf.remaining() < 4 {
                 return Err(DecodeError::Truncated);
             }
-            Message::Leave { from: NodeId(buf.get_u32()) }
+            Message::Leave {
+                from: NodeId(buf.get_u32()),
+            }
         }
         other => return Err(DecodeError::BadType(other)),
     };
@@ -271,8 +279,14 @@ mod tests {
                     origin: NodeId(4),
                     seq: 42,
                     links: vec![
-                        LinkEntry { neighbor: NodeId(5), cost: 12.5 },
-                        LinkEntry { neighbor: NodeId(6), cost: 0.25 },
+                        LinkEntry {
+                            neighbor: NodeId(5),
+                            cost: 12.5,
+                        },
+                        LinkEntry {
+                            neighbor: NodeId(6),
+                            cost: 0.25,
+                        },
                     ],
                 }],
             },
@@ -281,8 +295,14 @@ mod tests {
                 seq: 1,
                 links: vec![],
             }),
-            Message::Ping { from: NodeId(3), nonce: 0xDEADBEEF },
-            Message::Pong { from: NodeId(4), nonce: 0xDEADBEEF },
+            Message::Ping {
+                from: NodeId(3),
+                nonce: 0xDEADBEEF,
+            },
+            Message::Pong {
+                from: NodeId(4),
+                nonce: 0xDEADBEEF,
+            },
             Message::Heartbeat { from: NodeId(2) },
             Message::Leave { from: NodeId(1) },
         ]
@@ -300,7 +320,10 @@ mod tests {
     fn ping_frames_match_paper_size() {
         // §4.3 says ICMP echo ≈ 320 bits = 40 bytes; our ping payload is
         // exactly that, plus the 12-byte frame envelope.
-        let f = encode(&Message::Ping { from: NodeId(0), nonce: 0 });
+        let f = encode(&Message::Ping {
+            from: NodeId(0),
+            nonce: 0,
+        });
         assert_eq!(f.len(), 40 + 12);
     }
 
@@ -338,7 +361,10 @@ mod tests {
         let f = encode(&Message::LinkState(LinkStateAnnouncement {
             origin: NodeId(1),
             seq: 77,
-            links: vec![LinkEntry { neighbor: NodeId(2), cost: 3.5 }],
+            links: vec![LinkEntry {
+                neighbor: NodeId(2),
+                cost: 3.5,
+            }],
         }));
         for byte in 0..f.len() {
             for bit in 0..8 {

@@ -95,7 +95,9 @@ mod tests {
     fn classes_cover_all_messages() {
         let msgs = [
             Message::BootstrapRequest { from: NodeId(1) },
-            Message::BootstrapResponse { peers: vec![NodeId(2)] },
+            Message::BootstrapResponse {
+                peers: vec![NodeId(2)],
+            },
             Message::Hello { from: NodeId(1) },
             Message::LsdbSync { lsas: vec![] },
             Message::LinkState(LinkStateAnnouncement {
@@ -103,8 +105,14 @@ mod tests {
                 seq: 0,
                 links: vec![],
             }),
-            Message::Ping { from: NodeId(1), nonce: 9 },
-            Message::Pong { from: NodeId(1), nonce: 9 },
+            Message::Ping {
+                from: NodeId(1),
+                nonce: 9,
+            },
+            Message::Pong {
+                from: NodeId(1),
+                nonce: 9,
+            },
             Message::Heartbeat { from: NodeId(1) },
             Message::Leave { from: NodeId(1) },
         ];
@@ -119,7 +127,10 @@ mod tests {
         let a = LinkStateAnnouncement {
             origin: NodeId(3),
             seq: 7,
-            links: vec![LinkEntry { neighbor: NodeId(1), cost: 2.5 }],
+            links: vec![LinkEntry {
+                neighbor: NodeId(1),
+                cost: 2.5,
+            }],
         };
         assert_eq!(a, a.clone());
     }

@@ -70,8 +70,8 @@ proptest! {
         let (ga, gb) = (a.graph(20), b.graph(20));
         let mut ea: Vec<_> = ga.edges().collect();
         let mut eb: Vec<_> = gb.edges().collect();
-        ea.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
-        eb.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        ea.sort_by_key(|x| (x.0, x.1));
+        eb.sort_by_key(|x| (x.0, x.1));
         prop_assert_eq!(ea, eb);
     }
 

@@ -33,9 +33,7 @@ pub trait Transport: Send + 'static {
 
     /// Receive the next frame as `(sender, bytes)`. `None` = transport
     /// closed.
-    fn recv(
-        &mut self,
-    ) -> impl std::future::Future<Output = Option<(NodeId, Bytes)>> + Send;
+    fn recv(&mut self) -> impl std::future::Future<Output = Option<(NodeId, Bytes)>> + Send;
 }
 
 // ---------------------------------------------------------------------
@@ -241,90 +239,104 @@ mod tests {
         DistanceMatrix::off_diagonal(2, ms)
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn sim_delivers_with_delay() {
-        let net = SimNet::clean(two_node_delays(25.0));
-        let a = net.endpoint(NodeId(0));
-        let mut b = net.endpoint(NodeId(1));
-        let t0 = tokio::time::Instant::now();
-        a.send(NodeId(1), Bytes::from_static(b"hi")).await.unwrap();
-        let (from, data) = b.recv().await.unwrap();
-        let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
-        assert_eq!(from, NodeId(0));
-        assert_eq!(&data[..], b"hi");
-        assert!((elapsed - 25.0).abs() < 1.0, "latency {elapsed} ms");
+    #[test]
+    fn sim_delivers_with_delay() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(two_node_delays(25.0));
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            let t0 = tokio::time::Instant::now();
+            a.send(NodeId(1), Bytes::from_static(b"hi")).await.unwrap();
+            let (from, data) = b.recv().await.unwrap();
+            let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(from, NodeId(0));
+            assert_eq!(&data[..], b"hi");
+            assert!((elapsed - 25.0).abs() < 1.0, "latency {elapsed} ms");
+        });
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn sim_drops_to_unknown_peer() {
-        let net = SimNet::clean(two_node_delays(1.0));
-        let a = net.endpoint(NodeId(0));
-        // No endpoint for node 1: send succeeds, nothing delivered.
-        a.send(NodeId(1), Bytes::from_static(b"x")).await.unwrap();
-        assert_eq!(net.frames_sent(), 1);
+    #[test]
+    fn sim_drops_to_unknown_peer() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(two_node_delays(1.0));
+            let a = net.endpoint(NodeId(0));
+            // No endpoint for node 1: send succeeds, nothing delivered.
+            a.send(NodeId(1), Bytes::from_static(b"x")).await.unwrap();
+            assert_eq!(net.frames_sent(), 1);
+        });
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn sim_fault_injection_drops() {
-        let net = SimNet::new(two_node_delays(1.0), FaultConfig::lossy(1.0), 7);
-        let a = net.endpoint(NodeId(0));
-        let mut b = net.endpoint(NodeId(1));
-        for _ in 0..10 {
-            a.send(NodeId(1), Bytes::from_static(b"y")).await.unwrap();
-        }
-        // All dropped: recv should time out.
-        let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
-        assert!(got.is_err(), "lossy(1.0) must drop everything");
+    #[test]
+    fn sim_fault_injection_drops() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::new(two_node_delays(1.0), FaultConfig::lossy(1.0), 7);
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            for _ in 0..10 {
+                a.send(NodeId(1), Bytes::from_static(b"y")).await.unwrap();
+            }
+            // All dropped: recv should time out.
+            let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
+            assert!(got.is_err(), "lossy(1.0) must drop everything");
+        });
     }
 
-    #[tokio::test(start_paused = true)]
-    async fn sim_disconnect_blackholes() {
-        let net = SimNet::clean(two_node_delays(1.0));
-        let a = net.endpoint(NodeId(0));
-        let mut b = net.endpoint(NodeId(1));
-        net.disconnect(NodeId(1));
-        a.send(NodeId(1), Bytes::from_static(b"z")).await.unwrap();
-        // The hub dropped b's sender, so b's stream ends without ever
-        // delivering the frame.
-        let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
-        assert_eq!(got, Ok(None));
+    #[test]
+    fn sim_disconnect_blackholes() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(two_node_delays(1.0));
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            net.disconnect(NodeId(1));
+            a.send(NodeId(1), Bytes::from_static(b"z")).await.unwrap();
+            // The hub dropped b's sender, so b's stream ends without ever
+            // delivering the frame.
+            let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
+            assert_eq!(got, Ok(None));
+        });
     }
 
-    #[tokio::test]
-    async fn udp_roundtrip_on_loopback() {
-        let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
-        let mut b = UdpTransport::bind(NodeId(1), "127.0.0.1:0").await.unwrap();
-        let (aa, ba) = (a.local_addr().unwrap(), b.local_addr().unwrap());
-        a.add_peer(NodeId(1), ba);
-        b.add_peer(NodeId(0), aa);
-        a.send(NodeId(1), Bytes::from_static(b"ping")).await.unwrap();
-        let (from, data) =
-            tokio::time::timeout(std::time::Duration::from_secs(5), b.recv())
+    #[test]
+    fn udp_roundtrip_on_loopback() {
+        tokio::runtime::block_on(async {
+            let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
+            let mut b = UdpTransport::bind(NodeId(1), "127.0.0.1:0").await.unwrap();
+            let (aa, ba) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+            a.add_peer(NodeId(1), ba);
+            b.add_peer(NodeId(0), aa);
+            a.send(NodeId(1), Bytes::from_static(b"ping"))
+                .await
+                .unwrap();
+            let (from, data) = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv())
                 .await
                 .expect("timely")
                 .expect("open");
-        assert_eq!(from, NodeId(0));
-        assert_eq!(&data[..], b"ping");
-        b.send(NodeId(0), Bytes::from_static(b"pong")).await.unwrap();
-        let (from, data) =
-            tokio::time::timeout(std::time::Duration::from_secs(5), a.recv())
+            assert_eq!(from, NodeId(0));
+            assert_eq!(&data[..], b"ping");
+            b.send(NodeId(0), Bytes::from_static(b"pong"))
+                .await
+                .unwrap();
+            let (from, data) = tokio::time::timeout(std::time::Duration::from_secs(5), a.recv())
                 .await
                 .expect("timely")
                 .expect("open");
-        assert_eq!(from, NodeId(1));
-        assert_eq!(&data[..], b"pong");
+            assert_eq!(from, NodeId(1));
+            assert_eq!(&data[..], b"pong");
+        });
     }
 
-    #[tokio::test]
-    async fn udp_unknown_sender_filtered() {
-        let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
-        let stranger = UdpTransport::bind(NodeId(9), "127.0.0.1:0").await.unwrap();
-        stranger.add_peer(NodeId(0), a.local_addr().unwrap());
-        stranger
-            .send(NodeId(0), Bytes::from_static(b"??"))
-            .await
-            .unwrap();
-        let got = tokio::time::timeout(std::time::Duration::from_millis(300), a.recv()).await;
-        assert!(got.is_err(), "frames from unknown addresses are dropped");
+    #[test]
+    fn udp_unknown_sender_filtered() {
+        tokio::runtime::block_on(async {
+            let mut a = UdpTransport::bind(NodeId(0), "127.0.0.1:0").await.unwrap();
+            let stranger = UdpTransport::bind(NodeId(9), "127.0.0.1:0").await.unwrap();
+            stranger.add_peer(NodeId(0), a.local_addr().unwrap());
+            stranger
+                .send(NodeId(0), Bytes::from_static(b"??"))
+                .await
+                .unwrap();
+            let got = tokio::time::timeout(std::time::Duration::from_millis(300), a.recv()).await;
+            assert!(got.is_err(), "frames from unknown addresses are dropped");
+        });
     }
 }

@@ -1,0 +1,141 @@
+//! Link-capacity ledger: meters flows into finite directed-link
+//! capacity and accounts what each node forwards.
+
+use egoist_graph::{DistanceMatrix, NodeId};
+
+/// Tracks residual capacity per directed overlay link while an epoch's
+/// flows are being placed, plus the two feedback aggregates the closed
+/// loop charges back into the underlay: per-pair carried traffic and
+/// per-node forwarded traffic.
+#[derive(Clone, Debug)]
+pub struct CapacityLedger {
+    n: usize,
+    residual: Vec<f64>,
+    consumed: Vec<f64>,
+    /// Mbps of traffic each node transmits (as source or forwarder) —
+    /// the CPU-load proxy for the Load feedback.
+    forwarded: Vec<f64>,
+}
+
+impl CapacityLedger {
+    /// Start an epoch from the underlay's unloaded per-pair capacity.
+    pub fn new(capacity: &DistanceMatrix) -> Self {
+        let n = capacity.len();
+        let mut residual = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    residual[i * n + j] = capacity.at(i, j).max(0.0);
+                }
+            }
+        }
+        CapacityLedger {
+            n,
+            residual,
+            consumed: vec![0.0; n * n],
+            forwarded: vec![0.0; n],
+        }
+    }
+
+    /// Residual capacity of the directed pair.
+    pub fn residual(&self, u: NodeId, v: NodeId) -> f64 {
+        self.residual[u.index() * self.n + v.index()]
+    }
+
+    /// The bottleneck residual along `path` (∞ for an empty/1-node path).
+    pub fn bottleneck(&self, path: &[NodeId]) -> f64 {
+        path.windows(2)
+            .map(|w| self.residual(w[0], w[1]))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Admit up to `rate` Mbps along `path`, limited by the bottleneck
+    /// residual. Returns the admitted rate; every hop's residual is
+    /// drawn down and every transmitting node (all but the destination)
+    /// is charged the forwarded traffic.
+    pub fn admit(&mut self, path: &[NodeId], rate: f64) -> f64 {
+        if path.len() < 2 || rate <= 0.0 {
+            return 0.0;
+        }
+        let admitted = rate.min(self.bottleneck(path));
+        if admitted <= 0.0 {
+            return 0.0;
+        }
+        for w in path.windows(2) {
+            let idx = w[0].index() * self.n + w[1].index();
+            self.residual[idx] = (self.residual[idx] - admitted).max(0.0);
+            self.consumed[idx] += admitted;
+            self.forwarded[w[0].index()] += admitted;
+        }
+        admitted
+    }
+
+    /// Row-major `n × n` carried-traffic matrix (Mbps), the shape
+    /// [`egoist_netsim::BandwidthModel::set_consumed`] expects.
+    pub fn consumed_matrix(&self) -> &[f64] {
+        &self.consumed
+    }
+
+    /// Per-node transmitted traffic (Mbps).
+    pub fn forwarded_per_node(&self) -> &[f64] {
+        &self.forwarded
+    }
+
+    /// Total carried traffic summed over links (Mbps × hops).
+    pub fn total_link_mbps(&self) -> f64 {
+        self.consumed.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(cap: f64) -> CapacityLedger {
+        CapacityLedger::new(&DistanceMatrix::off_diagonal(4, cap))
+    }
+
+    #[test]
+    fn admit_draws_down_every_hop() {
+        let mut l = ledger(100.0);
+        let path = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(l.admit(&path, 30.0), 30.0);
+        assert_eq!(l.residual(NodeId(0), NodeId(1)), 70.0);
+        assert_eq!(l.residual(NodeId(1), NodeId(2)), 70.0);
+        assert_eq!(l.residual(NodeId(2), NodeId(3)), 100.0);
+    }
+
+    #[test]
+    fn admission_capped_by_bottleneck() {
+        let mut l = ledger(100.0);
+        l.admit(&[NodeId(0), NodeId(1)], 90.0);
+        // 0→1 has 10 left; a flow of 50 through it gets 10.
+        let got = l.admit(&[NodeId(0), NodeId(1), NodeId(3)], 50.0);
+        assert_eq!(got, 10.0);
+        assert_eq!(l.residual(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(l.residual(NodeId(1), NodeId(3)), 90.0);
+    }
+
+    #[test]
+    fn forwarded_charges_all_but_destination() {
+        let mut l = ledger(100.0);
+        l.admit(&[NodeId(0), NodeId(1), NodeId(2)], 20.0);
+        assert_eq!(l.forwarded_per_node(), &[20.0, 20.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn consumed_matrix_mirrors_admissions() {
+        let mut l = ledger(100.0);
+        l.admit(&[NodeId(0), NodeId(2)], 15.0);
+        l.admit(&[NodeId(0), NodeId(2)], 5.0);
+        assert_eq!(l.consumed_matrix()[2], 20.0); // row 0, col 2
+        assert_eq!(l.total_link_mbps(), 20.0);
+    }
+
+    #[test]
+    fn saturated_path_admits_zero() {
+        let mut l = ledger(10.0);
+        l.admit(&[NodeId(0), NodeId(1)], 10.0);
+        assert_eq!(l.admit(&[NodeId(0), NodeId(1)], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The closed loop: charge carried traffic back into the underlay.
+//!
+//! The paper's load metric gestures at traffic-induced congestion but
+//! the control-plane simulator never exercises it. With feedback
+//! enabled, each epoch's routed traffic becomes (a) induced CPU load on
+//! every transmitting node — which the EWMA load sensor picks up over
+//! the following epochs, steering Load-metric best responses away from
+//! hot relays — and (b) consumed link bandwidth — which probe-based
+//! bandwidth wiring sees as shrunken availability.
+
+use crate::router::RouteOutcome;
+use egoist_core::sim::Simulator;
+
+/// Feedback scaling.
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackConfig {
+    /// Whether carried traffic is charged into the underlay at all.
+    pub enabled: bool,
+    /// CPU load units per forwarded Mbps (loadavg-like: 0.02 means a
+    /// node forwarding 500 Mbps adds 10 to its load).
+    pub load_per_mbps: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            enabled: true,
+            load_per_mbps: 0.02,
+        }
+    }
+}
+
+/// Apply one epoch's traffic into the simulator's underlay models.
+/// With feedback disabled this *clears* any previous charge, so an
+/// open-loop engine on the same `Simulator` type stays truly open.
+pub fn apply(sim: &mut Simulator, outcome: &RouteOutcome, cfg: &FeedbackConfig) {
+    if !cfg.enabled {
+        sim.loads_mut().clear_induced();
+        sim.bandwidths_mut().clear_consumed();
+        return;
+    }
+    let induced: Vec<f64> = outcome
+        .forwarded
+        .iter()
+        .map(|mbps| mbps * cfg.load_per_mbps)
+        .collect();
+    sim.loads_mut().set_induced(&induced);
+    sim.bandwidths_mut().set_consumed(&outcome.consumed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Flow;
+    use crate::router::RoutedFlow;
+    use egoist_core::policies::PolicyKind;
+    use egoist_core::sim::{Metric, SimConfig, Simulator};
+    use egoist_graph::NodeId;
+
+    fn outcome(n: usize) -> RouteOutcome {
+        let mut consumed = vec![0.0; n * n];
+        consumed[1] = 50.0; // 0→1 carries 50 Mbps
+        let mut forwarded = vec![0.0; n];
+        forwarded[0] = 50.0;
+        RouteOutcome {
+            flows: vec![RoutedFlow {
+                flow: Flow {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    rate_mbps: 50.0,
+                },
+                delivered_mbps: 50.0,
+                latency_ms: 5.0,
+                stretch: 1.0,
+                paths_used: 1,
+            }],
+            offered_mbps: 50.0,
+            delivered_mbps: 50.0,
+            consumed,
+            forwarded,
+        }
+    }
+
+    fn sim(n: usize) -> Simulator {
+        let mut cfg = SimConfig::baseline(2, PolicyKind::Random, Metric::Load, 3);
+        cfg.n = n;
+        cfg.epochs = 2;
+        cfg.warmup_epochs = 0;
+        Simulator::new(cfg)
+    }
+
+    #[test]
+    fn enabled_feedback_charges_load_and_bandwidth() {
+        let mut s = sim(6);
+        let base_load = s.loads().instantaneous(0);
+        let base_bw = s.bandwidths().available(0, 1);
+        apply(&mut s, &outcome(6), &FeedbackConfig::default());
+        assert!((s.loads().instantaneous(0) - (base_load + 1.0)).abs() < 1e-9);
+        assert!(s.bandwidths().available(0, 1) <= (base_bw - 50.0).max(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn disabled_feedback_clears_previous_charge() {
+        let mut s = sim(6);
+        apply(&mut s, &outcome(6), &FeedbackConfig::default());
+        apply(
+            &mut s,
+            &outcome(6),
+            &FeedbackConfig {
+                enabled: false,
+                load_per_mbps: 0.02,
+            },
+        );
+        assert_eq!(s.loads().induced(0), 0.0);
+        assert_eq!(s.bandwidths().consumed(0, 1), 0.0);
+    }
+}

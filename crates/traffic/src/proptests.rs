@@ -1,0 +1,109 @@
+//! Property tests for the data plane.
+
+use crate::capacity::CapacityLedger;
+use crate::demand::{DemandGenerator, WorkloadKind};
+use egoist_graph::{DistanceMatrix, NodeId};
+use proptest::prelude::*;
+
+fn delays(n: usize) -> DistanceMatrix {
+    DistanceMatrix::from_fn(n, |i, j| 1.0 + ((i * 13 + j * 5) % 37) as f64)
+}
+
+fn kind_from(idx: usize) -> WorkloadKind {
+    WorkloadKind::all()[idx % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator conserves total offered load exactly (equal
+    /// split), for any population size, seed, epoch and shape.
+    #[test]
+    fn demand_conserves_offered_load(
+        n in 2usize..24,
+        kind_idx in 0usize..4,
+        seed in 0u64..500,
+        epoch in 0usize..20,
+        offered in 1.0f64..5000.0,
+    ) {
+        let g = DemandGenerator::new(kind_from(kind_idx), n, offered, 16, seed, &delays(n));
+        let flows = g.generate(epoch, &vec![true; n]);
+        prop_assert!(!flows.is_empty());
+        let total: f64 = flows.iter().map(|f| f.rate_mbps).sum();
+        prop_assert!(
+            (total - offered).abs() < 1e-6 * offered.max(1.0),
+            "{}: offered {offered}, emitted {total}",
+            kind_from(kind_idx).label()
+        );
+    }
+
+    /// Conservation also holds under partial aliveness (or the epoch is
+    /// empty when fewer than two nodes are up), and flows never touch
+    /// dead endpoints.
+    #[test]
+    fn demand_respects_aliveness(
+        n in 2usize..16,
+        kind_idx in 0usize..4,
+        seed in 0u64..200,
+        dead_mask in 0u32..65536,
+    ) {
+        let alive: Vec<bool> = (0..n).map(|i| dead_mask & (1 << i) == 0).collect();
+        let n_alive = alive.iter().filter(|a| **a).count();
+        let g = DemandGenerator::new(kind_from(kind_idx), n, 100.0, 12, seed, &delays(n));
+        let flows = g.generate(0, &alive);
+        if n_alive < 2 {
+            prop_assert!(flows.is_empty());
+        } else {
+            for f in &flows {
+                prop_assert!(alive[f.src.index()]);
+                prop_assert!(alive[f.dst.index()]);
+                prop_assert!(f.src != f.dst);
+            }
+            if !flows.is_empty() {
+                let total: f64 = flows.iter().map(|f| f.rate_mbps).sum();
+                prop_assert!((total - 100.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Generators are pure functions of (seed, epoch, aliveness).
+    #[test]
+    fn demand_is_deterministic(
+        n in 2usize..16,
+        kind_idx in 0usize..4,
+        seed in 0u64..200,
+        epoch in 0usize..10,
+    ) {
+        let d = delays(n);
+        let a = DemandGenerator::new(kind_from(kind_idx), n, 64.0, 8, seed, &d);
+        let b = DemandGenerator::new(kind_from(kind_idx), n, 64.0, 8, seed, &d);
+        prop_assert_eq!(
+            a.generate(epoch, &vec![true; n]),
+            b.generate(epoch, &vec![true; n])
+        );
+    }
+
+    /// The capacity ledger never goes negative and conserves admitted
+    /// traffic into the consumed matrix.
+    #[test]
+    fn ledger_conserves_and_stays_nonnegative(
+        cap in 1.0f64..100.0,
+        rates in proptest::collection::vec(0.1f64..50.0, 1..20),
+    ) {
+        let n = 5;
+        let mut ledger = CapacityLedger::new(&DistanceMatrix::off_diagonal(n, cap));
+        let path = [NodeId(0), NodeId(1), NodeId(2)];
+        let mut admitted_total = 0.0;
+        for r in rates {
+            admitted_total += ledger.admit(&path, r);
+        }
+        prop_assert!(admitted_total <= cap + 1e-9, "admitted {admitted_total} > cap {cap}");
+        prop_assert!(ledger.residual(NodeId(0), NodeId(1)) >= -1e-12);
+        // Each of the 2 hops carries the admitted total.
+        prop_assert!((ledger.total_link_mbps() - 2.0 * admitted_total).abs() < 1e-6);
+        let fwd = ledger.forwarded_per_node();
+        prop_assert!((fwd[0] - admitted_total).abs() < 1e-9);
+        prop_assert!((fwd[1] - admitted_total).abs() < 1e-9);
+        prop_assert_eq!(fwd[2], 0.0);
+    }
+}

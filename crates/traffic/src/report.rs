@@ -1,0 +1,249 @@
+//! The traffic metrics sink.
+//!
+//! Collects per-epoch data-plane outcomes alongside the control plane's
+//! epoch samples and summarizes the steady state: throughput, delivery
+//! ratio, p50/p99 flow latency, mean path stretch. Exported as JSON so
+//! experiment binaries can emit machine-readable comparisons.
+
+use crate::json::{array, JsonObject};
+use crate::router::RouteOutcome;
+use egoist_core::sim::EpochSample;
+use egoist_core::stats;
+
+/// One epoch's traffic measurements.
+#[derive(Clone, Debug)]
+pub struct EpochTraffic {
+    pub epoch: usize,
+    pub offered_mbps: f64,
+    pub delivered_mbps: f64,
+    pub delivery_ratio: f64,
+    /// Flow-latency percentiles within this epoch (ms; NaN if nothing
+    /// was delivered).
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    pub mean_stretch: f64,
+    pub rewirings: usize,
+    pub alive: usize,
+    /// Latencies of every delivered flow (kept so the summary can take
+    /// percentiles over flows, not over epoch aggregates).
+    latencies_ms: Vec<f64>,
+    stretches: Vec<f64>,
+}
+
+/// Steady-state summary (warmup epochs dropped).
+#[derive(Clone, Debug, Default)]
+pub struct TrafficSummary {
+    pub offered_mbps: f64,
+    pub delivered_mbps: f64,
+    pub delivery_ratio: f64,
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+    pub mean_stretch: f64,
+    pub mean_rewirings: f64,
+    pub flows_measured: usize,
+}
+
+/// The full report for one (policy, workload, seed) run.
+#[derive(Clone, Debug)]
+pub struct TrafficReport {
+    /// Control-plane configuration label (policy, k, metric, n).
+    pub config_label: String,
+    pub workload: String,
+    pub seed: u64,
+    pub closed_loop: bool,
+    pub warmup_epochs: usize,
+    pub epochs: Vec<EpochTraffic>,
+    pub summary: TrafficSummary,
+}
+
+impl TrafficReport {
+    pub fn new(
+        config_label: String,
+        workload: String,
+        seed: u64,
+        closed_loop: bool,
+        warmup_epochs: usize,
+    ) -> Self {
+        TrafficReport {
+            config_label,
+            workload,
+            seed,
+            closed_loop,
+            warmup_epochs,
+            epochs: Vec::new(),
+            summary: TrafficSummary::default(),
+        }
+    }
+
+    /// Record one epoch's routing outcome and control-plane sample.
+    pub fn record(&mut self, outcome: &RouteOutcome, sample: &EpochSample) {
+        let latencies = outcome.latencies_ms();
+        let stretches = outcome.stretches();
+        self.epochs.push(EpochTraffic {
+            epoch: sample.epoch,
+            offered_mbps: outcome.offered_mbps,
+            delivered_mbps: outcome.delivered_mbps,
+            delivery_ratio: outcome.delivery_ratio(),
+            p50_latency_ms: stats::percentile(&latencies, 50.0),
+            p99_latency_ms: stats::percentile(&latencies, 99.0),
+            mean_stretch: stats::mean(&stretches),
+            rewirings: sample.rewirings,
+            alive: sample.alive,
+            latencies_ms: latencies,
+            stretches,
+        });
+        self.refresh_summary();
+    }
+
+    fn steady(&self) -> impl Iterator<Item = &EpochTraffic> {
+        let warmup = self.warmup_epochs;
+        self.epochs.iter().filter(move |e| e.epoch >= warmup)
+    }
+
+    fn refresh_summary(&mut self) {
+        let offered: Vec<f64> = self.steady().map(|e| e.offered_mbps).collect();
+        let delivered: Vec<f64> = self.steady().map(|e| e.delivered_mbps).collect();
+        let all_lat: Vec<f64> = self
+            .steady()
+            .flat_map(|e| e.latencies_ms.iter().copied())
+            .collect();
+        let all_stretch: Vec<f64> = self
+            .steady()
+            .flat_map(|e| e.stretches.iter().copied())
+            .collect();
+        let rewirings: Vec<f64> = self.steady().map(|e| e.rewirings as f64).collect();
+        let offered_mean = stats::mean(&offered);
+        let delivered_mean = stats::mean(&delivered);
+        self.summary = TrafficSummary {
+            offered_mbps: offered_mean,
+            delivered_mbps: delivered_mean,
+            delivery_ratio: if offered_mean > 0.0 {
+                delivered_mean / offered_mean
+            } else {
+                1.0
+            },
+            p50_latency_ms: stats::percentile(&all_lat, 50.0),
+            p99_latency_ms: stats::percentile(&all_lat, 99.0),
+            mean_stretch: stats::mean(&all_stretch),
+            mean_rewirings: stats::mean(&rewirings),
+            flows_measured: all_lat.len(),
+        };
+    }
+
+    /// Serialize the whole report (stable field order, deterministic
+    /// float formatting — same run, byte-identical document).
+    pub fn to_json(&self) -> String {
+        let epochs = array(self.epochs.iter().map(|e| {
+            JsonObject::new()
+                .u64("epoch", e.epoch as u64)
+                .f64("offered_mbps", e.offered_mbps)
+                .f64("delivered_mbps", e.delivered_mbps)
+                .f64("delivery_ratio", e.delivery_ratio)
+                .f64("p50_latency_ms", e.p50_latency_ms)
+                .f64("p99_latency_ms", e.p99_latency_ms)
+                .f64("mean_stretch", e.mean_stretch)
+                .u64("rewirings", e.rewirings as u64)
+                .u64("alive", e.alive as u64)
+                .finish()
+        }));
+        let summary = JsonObject::new()
+            .f64("offered_mbps", self.summary.offered_mbps)
+            .f64("delivered_mbps", self.summary.delivered_mbps)
+            .f64("delivery_ratio", self.summary.delivery_ratio)
+            .f64("p50_latency_ms", self.summary.p50_latency_ms)
+            .f64("p99_latency_ms", self.summary.p99_latency_ms)
+            .f64("mean_stretch", self.summary.mean_stretch)
+            .f64("mean_rewirings", self.summary.mean_rewirings)
+            .u64("flows_measured", self.summary.flows_measured as u64)
+            .finish();
+        JsonObject::new()
+            .str("config", &self.config_label)
+            .str("workload", &self.workload)
+            .u64("seed", self.seed)
+            .bool("closed_loop", self.closed_loop)
+            .u64("warmup_epochs", self.warmup_epochs as u64)
+            .raw("summary", summary)
+            .raw("epochs", epochs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Flow;
+    use crate::router::RoutedFlow;
+    use egoist_graph::NodeId;
+
+    fn outcome(latencies: &[f64]) -> RouteOutcome {
+        let flows: Vec<RoutedFlow> = latencies
+            .iter()
+            .map(|&l| RoutedFlow {
+                flow: Flow {
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    rate_mbps: 1.0,
+                },
+                delivered_mbps: 1.0,
+                latency_ms: l,
+                stretch: 1.5,
+                paths_used: 1,
+            })
+            .collect();
+        let n = latencies.len() as f64;
+        RouteOutcome {
+            flows,
+            offered_mbps: n,
+            delivered_mbps: n,
+            consumed: vec![0.0; 4],
+            forwarded: vec![0.0; 2],
+        }
+    }
+
+    fn sample(epoch: usize) -> egoist_core::sim::EpochSample {
+        egoist_core::sim::EpochSample {
+            epoch,
+            individual_cost: vec![1.0, 1.0],
+            efficiency: vec![0.5, 0.5],
+            bandwidth_utility: vec![f64::NAN, f64::NAN],
+            rewirings: 1,
+            alive: 2,
+        }
+    }
+
+    #[test]
+    fn summary_skips_warmup_and_pools_flows() {
+        let mut r = TrafficReport::new("BR".into(), "uniform".into(), 1, true, 1);
+        r.record(&outcome(&[100.0, 100.0]), &sample(0)); // warmup
+        r.record(&outcome(&[10.0, 20.0]), &sample(1));
+        r.record(&outcome(&[30.0, 40.0]), &sample(2));
+        assert_eq!(r.summary.flows_measured, 4);
+        assert!((r.summary.p50_latency_ms - 25.0).abs() < 1e-9);
+        assert!((r.summary.delivery_ratio - 1.0).abs() < 1e-9);
+        assert!((r.summary.mean_stretch - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_sections() {
+        let mut r = TrafficReport::new("BR".into(), "cdn".into(), 7, false, 0);
+        r.record(&outcome(&[5.0]), &sample(0));
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"workload\":\"cdn\""));
+        assert!(a.contains("\"summary\":{"));
+        assert!(a.contains("\"epochs\":[{"));
+        assert!(a.contains("\"closed_loop\":false"));
+    }
+
+    #[test]
+    fn empty_epoch_yields_nan_latency_null_json() {
+        let mut r = TrafficReport::new("BR".into(), "uniform".into(), 1, true, 0);
+        let mut o = outcome(&[]);
+        o.offered_mbps = 0.0;
+        o.delivered_mbps = 0.0;
+        r.record(&o, &sample(0));
+        assert!(r.summary.p99_latency_ms.is_nan());
+        assert!(r.to_json().contains("\"p99_latency_ms\":null"));
+    }
+}

@@ -1,0 +1,422 @@
+//! The flow router: announced-shortest-path forwarding with an optional
+//! edge-disjoint multipath mode.
+//!
+//! Routing consumes *announced* costs — the overlay graph as the
+//! link-state protocol disseminated it — while every realized quantity
+//! (latency, capacity) uses *true* underlay state. That mirrors the
+//! announced/true split of `egoist_core::cost` and is what makes the
+//! closed loop meaningful: wiring and routing react to announcements,
+//! announcements lag the congestion traffic creates.
+
+use crate::capacity::CapacityLedger;
+use crate::demand::Flow;
+use egoist_graph::dijkstra::dijkstra;
+use egoist_graph::disjoint::edge_disjoint_paths;
+use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
+
+/// Router tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Maximum paths per flow (1 = single announced-shortest path;
+    /// > 1 splits over up to that many edge-disjoint paths, the §6
+    /// > multipath application applied to bulk flows).
+    pub max_paths: usize,
+    /// Per-hop processing delay in ms per unit of true node load —
+    /// the term that couples flow latency to the Load metric.
+    pub proc_ms_per_load: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_paths: 1,
+            proc_ms_per_load: 2.0,
+        }
+    }
+}
+
+/// One flow's routing outcome.
+#[derive(Clone, Debug)]
+pub struct RoutedFlow {
+    pub flow: Flow,
+    /// Mbps actually carried (0 when unroutable or starved).
+    pub delivered_mbps: f64,
+    /// Delivered-weighted mean end-to-end latency (ms); NaN when
+    /// nothing was delivered.
+    pub latency_ms: f64,
+    /// Propagation-only path stretch vs. the direct underlay path;
+    /// NaN when undelivered.
+    pub stretch: f64,
+    /// Number of paths used.
+    pub paths_used: usize,
+}
+
+/// Aggregate outcome of routing one epoch's flows.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    pub flows: Vec<RoutedFlow>,
+    pub offered_mbps: f64,
+    pub delivered_mbps: f64,
+    /// Row-major `n × n` carried traffic (Mbps) for bandwidth feedback.
+    pub consumed: Vec<f64>,
+    /// Per-node transmitted traffic (Mbps) for load feedback.
+    pub forwarded: Vec<f64>,
+}
+
+impl RouteOutcome {
+    /// Delivered / offered (1.0 when nothing was offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_mbps <= 0.0 {
+            1.0
+        } else {
+            self.delivered_mbps / self.offered_mbps
+        }
+    }
+
+    /// Latencies of flows that delivered anything (ms).
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.flows
+            .iter()
+            .filter(|f| f.delivered_mbps > 0.0)
+            .map(|f| f.latency_ms)
+            .collect()
+    }
+
+    /// Stretches of delivered flows.
+    pub fn stretches(&self) -> Vec<f64> {
+        self.flows
+            .iter()
+            .filter(|f| f.delivered_mbps > 0.0 && f.stretch.is_finite())
+            .map(|f| f.stretch)
+            .collect()
+    }
+}
+
+/// Everything the router reads for one epoch.
+pub struct RouteInputs<'a> {
+    /// The overlay wired by the control plane, edges carrying announced
+    /// costs (routing state).
+    pub overlay: &'a DiGraph,
+    /// True per-pair propagation delays (ms).
+    pub true_delays: &'a DistanceMatrix,
+    /// True instantaneous per-node load.
+    pub node_load: &'a [f64],
+    /// Unloaded per-pair link capacity (Mbps).
+    pub capacity: &'a DistanceMatrix,
+}
+
+/// The router.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowRouter {
+    pub cfg: RouterConfig,
+}
+
+impl FlowRouter {
+    pub fn new(cfg: RouterConfig) -> Self {
+        FlowRouter { cfg }
+    }
+
+    /// Realized latency of `path`: true propagation per hop plus load-
+    /// proportional processing at every relay and the destination's
+    /// receive path (the source's own stack is free — it paces itself).
+    fn path_latency_ms(&self, path: &[NodeId], inp: &RouteInputs<'_>) -> f64 {
+        let mut ms = 0.0;
+        for w in path.windows(2) {
+            ms += inp.true_delays.get(w[0], w[1]);
+            ms += self.cfg.proc_ms_per_load * inp.node_load[w[1].index()];
+        }
+        ms
+    }
+
+    /// Propagation-only delay of `path`.
+    fn path_propagation_ms(path: &[NodeId], inp: &RouteInputs<'_>) -> f64 {
+        path.windows(2)
+            .map(|w| inp.true_delays.get(w[0], w[1]))
+            .sum()
+    }
+
+    /// Up to `max_paths` edge-disjoint paths `src → dst`, cheapest
+    /// (announced) first: successive shortest paths with used edges
+    /// removed. The count is additionally capped by the true
+    /// edge-disjoint path bound from `egoist_graph::disjoint`.
+    fn disjoint_paths(&self, overlay: &DiGraph, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
+        let want = if self.cfg.max_paths <= 1 {
+            1
+        } else {
+            self.cfg
+                .max_paths
+                .min(edge_disjoint_paths(overlay, src, dst))
+        };
+        let mut work = overlay.clone();
+        let mut paths = Vec::new();
+        for _ in 0..want.max(1) {
+            let sp = dijkstra(&work, src);
+            let Some(path) = sp.path_to(dst) else { break };
+            for w in path.windows(2) {
+                work.remove_edge(w[0], w[1]);
+            }
+            paths.push(path);
+        }
+        paths
+    }
+
+    /// Route one epoch's flows in order, metering them into capacity.
+    pub fn route(&self, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        let mut ledger = CapacityLedger::new(inp.capacity);
+        let offered: f64 = flows.iter().map(|f| f.rate_mbps).sum();
+
+        // Single-path mode reuses one Dijkstra per distinct source.
+        let mut sp_cache: Vec<Option<egoist_graph::dijkstra::ShortestPaths>> =
+            vec![None; inp.overlay.len()];
+
+        let mut routed = Vec::with_capacity(flows.len());
+        let mut delivered_total = 0.0;
+        for &flow in flows {
+            let paths: Vec<Vec<NodeId>> = if self.cfg.max_paths <= 1 {
+                let s = flow.src.index();
+                if sp_cache[s].is_none() {
+                    sp_cache[s] = Some(dijkstra(inp.overlay, flow.src));
+                }
+                sp_cache[s]
+                    .as_ref()
+                    .expect("just inserted")
+                    .path_to(flow.dst)
+                    .into_iter()
+                    .collect()
+            } else {
+                self.disjoint_paths(inp.overlay, flow.src, flow.dst)
+            };
+
+            if paths.is_empty() {
+                routed.push(RoutedFlow {
+                    flow,
+                    delivered_mbps: 0.0,
+                    latency_ms: f64::NAN,
+                    stretch: f64::NAN,
+                    paths_used: 0,
+                });
+                continue;
+            }
+
+            // Fill paths cheapest-first; each takes what its bottleneck
+            // allows until the flow's rate is placed.
+            let mut remaining = flow.rate_mbps;
+            let mut delivered = 0.0;
+            let mut weighted_latency = 0.0;
+            let mut weighted_prop = 0.0;
+            let mut used = 0;
+            for path in &paths {
+                if remaining <= 0.0 {
+                    break;
+                }
+                let got = ledger.admit(path, remaining);
+                if got > 0.0 {
+                    delivered += got;
+                    remaining -= got;
+                    weighted_latency += got * self.path_latency_ms(path, inp);
+                    weighted_prop += got * Self::path_propagation_ms(path, inp);
+                    used += 1;
+                }
+            }
+
+            let (latency_ms, stretch) = if delivered > 0.0 {
+                let lat = weighted_latency / delivered;
+                let direct = inp.true_delays.get(flow.src, flow.dst);
+                let prop = weighted_prop / delivered;
+                let stretch = if direct > 0.0 {
+                    prop / direct
+                } else {
+                    f64::NAN
+                };
+                (lat, stretch)
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            delivered_total += delivered;
+            routed.push(RoutedFlow {
+                flow,
+                delivered_mbps: delivered,
+                latency_ms,
+                stretch,
+                paths_used: used,
+            });
+        }
+
+        RouteOutcome {
+            flows: routed,
+            offered_mbps: offered,
+            delivered_mbps: delivered_total,
+            consumed: ledger.consumed_matrix().to_vec(),
+            forwarded: ledger.forwarded_per_node().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node line 0→1→2→3 with a costly shortcut 0→3.
+    fn line_overlay() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(3), 10.0);
+        g
+    }
+
+    fn inputs<'a>(
+        overlay: &'a DiGraph,
+        delays: &'a DistanceMatrix,
+        loads: &'a [f64],
+        cap: &'a DistanceMatrix,
+    ) -> RouteInputs<'a> {
+        RouteInputs {
+            overlay,
+            true_delays: delays,
+            node_load: loads,
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn follows_announced_shortest_path() {
+        let overlay = line_overlay();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 1000.0);
+        let r = FlowRouter::default();
+        let out = r.route(
+            &[Flow {
+                src: NodeId(0),
+                dst: NodeId(3),
+                rate_mbps: 10.0,
+            }],
+            &inputs(&overlay, &delays, &loads, &cap),
+        );
+        // Announced-shortest is the 3-hop line (cost 3 < 10): 3 × 5 ms.
+        assert_eq!(out.flows[0].delivered_mbps, 10.0);
+        assert!((out.flows[0].latency_ms - 15.0).abs() < 1e-9);
+        assert!((out.flows[0].stretch - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_relay_inflates_latency() {
+        let overlay = line_overlay();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let cap = DistanceMatrix::off_diagonal(4, 1000.0);
+        let cool = [0.0, 0.0, 0.0, 0.0];
+        let hot = [0.0, 20.0, 0.0, 0.0]; // relay v1 is slammed
+        let r = FlowRouter::default();
+        let f = [Flow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_mbps: 1.0,
+        }];
+        let lat_cool = r.route(&f, &inputs(&overlay, &delays, &cool, &cap)).flows[0].latency_ms;
+        let lat_hot = r.route(&f, &inputs(&overlay, &delays, &hot, &cap)).flows[0].latency_ms;
+        assert!(
+            lat_hot > lat_cool + 30.0,
+            "20 load × 2 ms = 40 ms extra: {lat_cool} vs {lat_hot}"
+        );
+    }
+
+    #[test]
+    fn capacity_starvation_reduces_delivery() {
+        let overlay = line_overlay();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 8.0);
+        let r = FlowRouter::default();
+        let out = r.route(
+            &[
+                Flow {
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                    rate_mbps: 6.0,
+                },
+                Flow {
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                    rate_mbps: 6.0,
+                },
+            ],
+            &inputs(&overlay, &delays, &loads, &cap),
+        );
+        // The shared 0→1 link caps the pair at 8 Mbps total.
+        assert_eq!(out.flows[0].delivered_mbps, 6.0);
+        assert_eq!(out.flows[1].delivered_mbps, 2.0);
+        assert!((out.delivery_ratio() - 8.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unroutable_flow_counts_as_undelivered() {
+        let mut overlay = DiGraph::new(3);
+        overlay.add_edge(NodeId(0), NodeId(1), 1.0);
+        let delays = DistanceMatrix::off_diagonal(3, 5.0);
+        let loads = [0.0; 3];
+        let cap = DistanceMatrix::off_diagonal(3, 100.0);
+        let out = FlowRouter::default().route(
+            &[Flow {
+                src: NodeId(0),
+                dst: NodeId(2),
+                rate_mbps: 4.0,
+            }],
+            &inputs(&overlay, &delays, &loads, &cap),
+        );
+        assert_eq!(out.flows[0].delivered_mbps, 0.0);
+        assert!(out.flows[0].latency_ms.is_nan());
+        assert_eq!(out.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn multipath_exceeds_single_path_on_bottleneck() {
+        // Diamond: 0→1→3 and 0→2→3, each path 10 Mbps.
+        let mut overlay = DiGraph::new(4);
+        overlay.add_edge(NodeId(0), NodeId(1), 1.0);
+        overlay.add_edge(NodeId(1), NodeId(3), 1.0);
+        overlay.add_edge(NodeId(0), NodeId(2), 2.0);
+        overlay.add_edge(NodeId(2), NodeId(3), 2.0);
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 10.0);
+        let f = [Flow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_mbps: 18.0,
+        }];
+        let single = FlowRouter::new(RouterConfig {
+            max_paths: 1,
+            ..Default::default()
+        });
+        let multi = FlowRouter::new(RouterConfig {
+            max_paths: 2,
+            ..Default::default()
+        });
+        let inp = inputs(&overlay, &delays, &loads, &cap);
+        assert_eq!(single.route(&f, &inp).delivered_mbps, 10.0);
+        assert_eq!(multi.route(&f, &inp).delivered_mbps, 18.0);
+        let out = multi.route(&f, &inp);
+        assert_eq!(out.flows[0].paths_used, 2);
+    }
+
+    #[test]
+    fn forwarded_and_consumed_feed_back() {
+        let overlay = line_overlay();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 100.0);
+        let out = FlowRouter::default().route(
+            &[Flow {
+                src: NodeId(0),
+                dst: NodeId(3),
+                rate_mbps: 9.0,
+            }],
+            &inputs(&overlay, &delays, &loads, &cap),
+        );
+        assert_eq!(out.forwarded, vec![9.0, 9.0, 9.0, 0.0]);
+        let n = 4;
+        assert_eq!(out.consumed[n + 2], 9.0); // 1→2
+    }
+}

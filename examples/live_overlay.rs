@@ -19,8 +19,11 @@ const N: usize = 10;
 const K: usize = 3;
 const BOOT: NodeId = NodeId(100);
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
+    tokio::runtime::block_on(run())
+}
+
+async fn run() -> std::io::Result<()> {
     println!("Live EGOIST overlay: {N} nodes on loopback UDP, k={K}\n");
 
     // Bind everyone first so the full address roster is known, then

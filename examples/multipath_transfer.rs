@@ -25,10 +25,24 @@ fn main() {
     let (src, dst) = (NodeId(3), NodeId(41));
     let r = analyze_pair(&overlay, &bw, src, dst);
     println!("source {src} → target {dst}:");
-    println!("  direct IP session (rate-capped):   {:>8.1} Mbps", r.direct);
-    println!("  {k} parallel first-hop sessions:     {:>8.1} Mbps  ({:.1}x)", r.parallel, r.parallel_gain());
-    println!("  max-flow bound (all peers help):   {:>8.1} Mbps  ({:.1}x)", r.max_flow_bound, r.max_flow_gain());
-    println!("  first-hop neighbors used: {:?}\n", overlay.out_neighbors(src).collect::<Vec<_>>());
+    println!(
+        "  direct IP session (rate-capped):   {:>8.1} Mbps",
+        r.direct
+    );
+    println!(
+        "  {k} parallel first-hop sessions:     {:>8.1} Mbps  ({:.1}x)",
+        r.parallel,
+        r.parallel_gain()
+    );
+    println!(
+        "  max-flow bound (all peers help):   {:>8.1} Mbps  ({:.1}x)",
+        r.max_flow_bound,
+        r.max_flow_gain()
+    );
+    println!(
+        "  first-hop neighbors used: {:?}\n",
+        overlay.out_neighbors(src).collect::<Vec<_>>()
+    );
 
     // A transfer-time estimate for a 10 GB file.
     let gb = 10.0 * 8.0 * 1024.0; // Mbit

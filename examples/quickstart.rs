@@ -15,12 +15,18 @@ fn main() {
     // The full mesh (RON-style, k = n-1) lower-bounds every policy.
     let base = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, seed);
     let mesh = full_mesh_reference(&base);
-    println!("{:<22} {:>14} {:>14}", "policy", "mean cost (ms)", "vs full mesh");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "policy", "mean cost (ms)", "vs full mesh"
+    );
     println!("{:<22} {:>14.2} {:>14.2}", "full mesh (k=49)", mesh, 1.0);
 
     for (label, policy) in [
         ("BR (selfish)", PolicyKind::BestResponse),
-        ("BR(eps=0.1)", PolicyKind::EpsilonBestResponse { epsilon: 0.1 }),
+        (
+            "BR(eps=0.1)",
+            PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
+        ),
         ("HybridBR (k2=2)", PolicyKind::HybridBestResponse { k2: 2 }),
         ("k-Closest", PolicyKind::Closest),
         ("k-Random", PolicyKind::Random),

@@ -15,7 +15,8 @@
 //! | [`netsim`] | `egoist-netsim` | delay/bandwidth/load models, churn, event queue, fault injection |
 //! | [`coord`] | `egoist-coord` | Vivaldi network coordinates (the paper's pyxida mode) |
 //! | [`core`] | `egoist-core` | SNS policies (BR, BR(ε), HybridBR, heuristics), sampling, game dynamics, the epoch simulator |
-//! | [`proto`] | `egoist-proto` | the tokio link-state protocol: codec, LSDB, bootstrap, node agent |
+//! | [`proto`] | `egoist-proto` | the async link-state protocol: codec, LSDB, bootstrap, node agent |
+//! | [`traffic`] | `egoist-traffic` | the closed-loop data-plane workload engine: demand, flow routing, congestion feedback, traffic reports |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use egoist_core as core;
 pub use egoist_graph as graph;
 pub use egoist_netsim as netsim;
 pub use egoist_proto as proto;
+pub use egoist_traffic as traffic;
 
 /// Workspace version, for tooling.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

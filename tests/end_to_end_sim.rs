@@ -23,7 +23,10 @@ fn figure1_delay_ordering() {
     let base = cfg(3, PolicyKind::BestResponse, Metric::DelayPing, 5);
     let br = run(base.clone()).mean_individual_cost(4);
     let mesh = full_mesh_reference(&base);
-    assert!(mesh <= br * 1.02, "mesh {mesh:.1} must lower-bound BR {br:.1}");
+    assert!(
+        mesh <= br * 1.02,
+        "mesh {mesh:.1} must lower-bound BR {br:.1}"
+    );
 
     for policy in [PolicyKind::Random, PolicyKind::Regular, PolicyKind::Closest] {
         let mut c = base.clone();
@@ -64,7 +67,12 @@ fn figure2_hybrid_wins_under_extreme_churn() {
     br.churn = Some(trace.clone());
     let e_br = run(br).mean_efficiency(4);
 
-    let mut hy = cfg(5, PolicyKind::HybridBestResponse { k2: 2 }, Metric::DelayPing, 3);
+    let mut hy = cfg(
+        5,
+        PolicyKind::HybridBestResponse { k2: 2 },
+        Metric::DelayPing,
+        3,
+    );
     hy.churn = Some(trace);
     let e_hy = run(hy).mean_efficiency(4);
 

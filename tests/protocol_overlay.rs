@@ -57,120 +57,127 @@ fn overlay_graph(handles: &[NodeHandle], delays: &DistanceMatrix) -> DiGraph {
     g
 }
 
-#[tokio::test(start_paused = true)]
-async fn protocol_overlay_beats_ring_topology() {
-    let n = 12;
-    let model = DelayModel::from_spec(
-        &egoist::netsim::PlanetLabSpec::paper_50(),
-        &egoist::netsim::delay::DelayConfig::default(),
-        3,
-    );
-    let delays = model
-        .base()
-        .submatrix(&(0..n as u32).map(NodeId).collect::<Vec<_>>());
+#[test]
+fn protocol_overlay_beats_ring_topology() {
+    tokio::runtime::block_on_paused(async {
+        let n = 12;
+        let model = DelayModel::from_spec(
+            &egoist::netsim::PlanetLabSpec::paper_50(),
+            &egoist::netsim::delay::DelayConfig::default(),
+            3,
+        );
+        let delays = model
+            .base()
+            .submatrix(&(0..n as u32).map(NodeId).collect::<Vec<_>>());
 
-    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
-    tokio::time::sleep(Duration::from_secs(70)).await;
+        let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
+        tokio::time::sleep(Duration::from_secs(70)).await;
 
-    let g = overlay_graph(&handles, &delays);
-    let dist = apsp(&g);
-    // Compare with a unit ring of the same degree budget.
-    let mut ring = DiGraph::new(n);
-    for i in 0..n {
-        for o in 1..=3usize {
-            ring.add_edge(
-                NodeId::from_index(i),
-                NodeId::from_index((i + o) % n),
-                delays.at(i, (i + o) % n),
-            );
-        }
-    }
-    let ring_dist = apsp(&ring);
-    let mean = |m: &DistanceMatrix| {
-        let mut s = 0.0;
-        let mut c = 0;
+        let g = overlay_graph(&handles, &delays);
+        let dist = apsp(&g);
+        // Compare with a unit ring of the same degree budget.
+        let mut ring = DiGraph::new(n);
         for i in 0..n {
-            for j in 0..n {
-                if i != j && m.at(i, j).is_finite() {
-                    s += m.at(i, j);
-                    c += 1;
-                }
+            for o in 1..=3usize {
+                ring.add_edge(
+                    NodeId::from_index(i),
+                    NodeId::from_index((i + o) % n),
+                    delays.at(i, (i + o) % n),
+                );
             }
         }
-        s / c as f64
-    };
-    let (br_cost, ring_cost) = (mean(&dist), mean(&ring_dist));
-    assert!(
-        br_cost < ring_cost,
-        "protocol BR overlay {br_cost:.1} must beat the circulant {ring_cost:.1}"
-    );
-    for h in handles {
-        h.stop().await;
-    }
-}
-
-#[tokio::test(start_paused = true)]
-async fn protocol_overlay_is_fully_routable_under_loss() {
-    let n = 8;
-    let delays = DistanceMatrix::from_fn(n, |i, j| 4.0 + ((i * 5 + j * 3) % 11) as f64);
-    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::lossy(0.10)).await;
-    tokio::time::sleep(Duration::from_secs(90)).await;
-
-    let mut routable = 0;
-    for (i, h) in handles.iter().enumerate() {
-        let v = h.snapshot();
-        routable += (0..n).filter(|&j| j != i && v.next_hops[j].is_some()).count();
-    }
-    let total = n * (n - 1);
-    assert!(
-        routable as f64 >= 0.9 * total as f64,
-        "only {routable}/{total} routes under 10% loss"
-    );
-    for h in handles {
-        h.stop().await;
-    }
-}
-
-#[tokio::test(start_paused = true)]
-async fn node_estimates_agree_with_vivaldi_predictions() {
-    // The protocol's ping estimates and an independently converged
-    // coordinate system should broadly agree on the same underlay — the
-    // property that makes the paper's pyxida audit (§3.4) possible.
-    let n = 8;
-    let model = DelayModel::from_spec(
-        &egoist::netsim::PlanetLabSpec::uniform(egoist::netsim::Region::Europe, n),
-        &egoist::netsim::delay::DelayConfig::default(),
-        9,
-    );
-    let delays = model.base().clone();
-    let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
-    tokio::time::sleep(Duration::from_secs(60)).await;
-
-    let mut cs = CoordinateSystem::new(n, 9);
-    cs.converge(&delays, 40);
-
-    let v0 = handles[0].snapshot();
-    let predicted = cs.query_all(0);
-    let mut compared = 0;
-    for j in 1..n {
-        let measured = v0.direct_est[j];
-        if measured.is_finite() {
-            let truth = 0.5 * (delays.at(0, j) + delays.at(j, 0));
-            assert!(
-                (measured - truth).abs() / truth < 0.25,
-                "ping estimate for v{j}: {measured:.1} vs truth {truth:.1}"
-            );
-            // Vivaldi is allowed to be sloppier, but must be same order.
-            assert!(
-                predicted[j] / truth < 4.0 && truth / predicted[j].max(1e-9) < 4.0,
-                "vivaldi estimate for v{j}: {:.1} vs truth {truth:.1}",
-                predicted[j]
-            );
-            compared += 1;
+        let ring_dist = apsp(&ring);
+        let mean = |m: &DistanceMatrix| {
+            let mut s = 0.0;
+            let mut c = 0;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && m.at(i, j).is_finite() {
+                        s += m.at(i, j);
+                        c += 1;
+                    }
+                }
+            }
+            s / c as f64
+        };
+        let (br_cost, ring_cost) = (mean(&dist), mean(&ring_dist));
+        assert!(
+            br_cost < ring_cost,
+            "protocol BR overlay {br_cost:.1} must beat the circulant {ring_cost:.1}"
+        );
+        for h in handles {
+            h.stop().await;
         }
-    }
-    assert!(compared >= n / 2, "too few measured peers: {compared}");
-    for h in handles {
-        h.stop().await;
-    }
+    });
+}
+
+#[test]
+fn protocol_overlay_is_fully_routable_under_loss() {
+    tokio::runtime::block_on_paused(async {
+        let n = 8;
+        let delays = DistanceMatrix::from_fn(n, |i, j| 4.0 + ((i * 5 + j * 3) % 11) as f64);
+        let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::lossy(0.10)).await;
+        tokio::time::sleep(Duration::from_secs(90)).await;
+
+        let mut routable = 0;
+        for (i, h) in handles.iter().enumerate() {
+            let v = h.snapshot();
+            routable += (0..n)
+                .filter(|&j| j != i && v.next_hops[j].is_some())
+                .count();
+        }
+        let total = n * (n - 1);
+        assert!(
+            routable as f64 >= 0.9 * total as f64,
+            "only {routable}/{total} routes under 10% loss"
+        );
+        for h in handles {
+            h.stop().await;
+        }
+    });
+}
+
+#[test]
+fn node_estimates_agree_with_vivaldi_predictions() {
+    tokio::runtime::block_on_paused(async {
+        // The protocol's ping estimates and an independently converged
+        // coordinate system should broadly agree on the same underlay — the
+        // property that makes the paper's pyxida audit (§3.4) possible.
+        let n = 8;
+        let model = DelayModel::from_spec(
+            &egoist::netsim::PlanetLabSpec::uniform(egoist::netsim::Region::Europe, n),
+            &egoist::netsim::delay::DelayConfig::default(),
+            9,
+        );
+        let delays = model.base().clone();
+        let (_net, handles) = spawn_overlay(n, 3, &delays, FaultConfig::default()).await;
+        tokio::time::sleep(Duration::from_secs(60)).await;
+
+        let mut cs = CoordinateSystem::new(n, 9);
+        cs.converge(&delays, 40);
+
+        let v0 = handles[0].snapshot();
+        let predicted = cs.query_all(0);
+        let mut compared = 0;
+        for (j, &measured) in v0.direct_est.iter().enumerate().skip(1) {
+            if measured.is_finite() {
+                let truth = 0.5 * (delays.at(0, j) + delays.at(j, 0));
+                assert!(
+                    (measured - truth).abs() / truth < 0.25,
+                    "ping estimate for v{j}: {measured:.1} vs truth {truth:.1}"
+                );
+                // Vivaldi is allowed to be sloppier, but must be same order.
+                assert!(
+                    predicted[j] / truth < 4.0 && truth / predicted[j].max(1e-9) < 4.0,
+                    "vivaldi estimate for v{j}: {:.1} vs truth {truth:.1}",
+                    predicted[j]
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared >= n / 2, "too few measured peers: {compared}");
+        for h in handles {
+            h.stop().await;
+        }
+    });
 }

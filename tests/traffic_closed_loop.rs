@@ -1,0 +1,86 @@
+//! Integration: the closed-loop data plane end to end.
+//!
+//! (a) determinism — one seed pins the entire run, down to the
+//!     serialized report bytes;
+//! (b) the paper's argument carried to the data plane — under the Load
+//!     metric with congestion feedback, best-response rewiring routes
+//!     flows around the hot spots its own traffic creates and beats
+//!     Random wiring on p99 flow latency on a 32-node Zipf workload;
+//! (c) the feedback itself is load-bearing: turning it off changes the
+//!     realized latency profile of the very same configuration.
+
+use egoist::core::policies::PolicyKind;
+use egoist::core::sim::Metric;
+use egoist::traffic::demand::WorkloadKind;
+use egoist::traffic::engine::{TrafficConfig, TrafficEngine};
+
+/// 32-node Zipf/gravity hot-spot workload on the Load metric.
+fn zipf32(policy: PolicyKind, seed: u64, closed_loop: bool) -> TrafficConfig {
+    let mut cfg = TrafficConfig::new(32, 4, policy, Metric::Load, seed);
+    cfg.sim.epochs = 12;
+    cfg.sim.warmup_epochs = 4;
+    cfg.workload = WorkloadKind::Gravity { exponent: 1.2 };
+    cfg.offered_mbps = 200.0;
+    cfg.flows_per_epoch = 48;
+    cfg.feedback.enabled = closed_loop;
+    cfg
+}
+
+#[test]
+fn same_seed_bit_identical_traffic_report() {
+    let a = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 11, true));
+    let b = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 11, true));
+    assert_eq!(a.to_json(), b.to_json(), "same seed must be bit-identical");
+    let c = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 12, true));
+    assert_ne!(a.to_json(), c.to_json(), "different seeds must differ");
+}
+
+#[test]
+fn closed_loop_br_cuts_p99_latency_vs_random() {
+    let br = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 7, true));
+    let rnd = TrafficEngine::run(&zipf32(PolicyKind::Random, 7, true));
+    let (b, r) = (br.summary.p99_latency_ms, rnd.summary.p99_latency_ms);
+    assert!(
+        b < r,
+        "closed-loop BR must strictly cut p99 flow latency vs Random: {b:.1} vs {r:.1} ms"
+    );
+    // The mechanism is re-wiring: BR keeps adapting to the load its own
+    // traffic induces.
+    assert!(
+        br.summary.mean_rewirings > 0.0,
+        "BR must re-wire in steady state under the closed loop"
+    );
+}
+
+#[test]
+fn traffic_induced_rewiring_changes_realized_p99() {
+    // The same BR configuration with and without feedback: the only
+    // difference is whether carried traffic is charged back into the
+    // underlay. The announced-load stream the policy sees differs, so
+    // rewiring decisions — and the realized p99 — differ.
+    let closed = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 9, true));
+    let open = TrafficEngine::run(&zipf32(PolicyKind::BestResponse, 9, false));
+    assert_ne!(
+        closed.summary.p99_latency_ms.to_bits(),
+        open.summary.p99_latency_ms.to_bits(),
+        "feedback must change realized p99 latency"
+    );
+    // And under feedback the overlay keeps adapting: wiring differs in
+    // steady state, visible as a different rewiring count.
+    assert!(closed.summary.flows_measured > 0 && open.summary.flows_measured > 0);
+}
+
+#[test]
+fn delivery_survives_churn() {
+    use egoist::netsim::ChurnModel;
+    let mut cfg = zipf32(PolicyKind::BestResponse, 5, true);
+    let mut model = ChurnModel::planetlab_like(32, 5);
+    model.timescale_divisor = 60.0;
+    cfg.sim.churn = Some(model.generate(cfg.sim.epochs as f64 * cfg.sim.epoch_secs));
+    let r = TrafficEngine::run(&cfg);
+    assert!(
+        r.summary.delivery_ratio > 0.3,
+        "the overlay must keep delivering under churn: {}",
+        r.summary.delivery_ratio
+    );
+}

@@ -1,0 +1,270 @@
+//! Offline mini-`bytes`.
+//!
+//! A cheaply-cloneable immutable byte buffer ([`Bytes`]), a growable
+//! builder ([`BytesMut`]) and the [`Buf`]/[`BufMut`] trait subset used by
+//! the EGOIST codec. Big-endian accessors only, like upstream's default
+//! `get_*`/`put_*` methods.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// True when any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self.chunk()[..2].try_into().expect("2 bytes"));
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self.chunk()[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self.chunk()[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write sink for byte data.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append `count` copies of `val`.
+    fn put_bytes(&mut self, val: u8, count: usize) {
+        for _ in 0..count {
+            self.put_u8(val);
+        }
+    }
+}
+
+/// Immutable, cheaply-cloneable byte buffer with a consuming read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Wrap a static slice (copies here; upstream borrows, but callers
+    /// only rely on the value semantics).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            start: 0,
+        }
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            start: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Growable byte builder.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16(0x4547);
+        b.put_u8(1);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(42);
+        b.put_f32(2.5);
+        b.put_bytes(0, 3);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u16(), 0x4547);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.get_f32(), 2.5);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn clone_is_independent_cursor() {
+        let mut a = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        let b = a.clone();
+        a.advance(2);
+        assert_eq!(a.chunk(), &[3, 4]);
+        assert_eq!(b.chunk(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deref_and_eq() {
+        let a = Bytes::from_static(b"ping");
+        assert_eq!(&a[..], b"ping");
+        assert_eq!(a, Bytes::copy_from_slice(b"ping"));
+        assert_eq!(a.to_vec(), b"ping".to_vec());
+    }
+}

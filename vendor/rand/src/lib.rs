@@ -1,0 +1,300 @@
+//! Offline mini-`rand`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the *subset* of the `rand` 0.9 API it actually uses, backed by
+//! a deterministic xoshiro256++ generator. It is **not** the upstream
+//! crate: streams differ from `rand`'s `StdRng`, but every consumer in
+//! this repository only requires determinism and statistical quality, not
+//! stream compatibility.
+//!
+//! Provided surface:
+//!
+//! * [`rngs::StdRng`] — the workspace's only generator.
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`].
+//! * [`Rng::random`] / [`Rng::random_range`] / [`Rng::random_bool`].
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types a generator can produce directly via [`Rng::random`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+macro_rules! standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_from_u64!(u8, u16, i32, i64);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in random_range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return <$t as Standard>::sample_standard(rng);
+                }
+                let span = (end as i128 - start as i128 + 1) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty float range in random_range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+float_range!(f64, f32);
+
+/// The user-facing generator API (blanket-implemented over [`RngCore`]).
+pub trait Rng: RngCore {
+    /// A uniformly random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — fast, high-quality, deterministic. Replaces the
+    /// upstream ChaCha12-based `StdRng` (streams are **not** compatible).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(z: &mut u64) -> u64 {
+        *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = *z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed;
+            let s = [
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers (only `shuffle` is used in this workspace).
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = r.random_range(0..=4u32);
+            assert!(w <= 4);
+            let f = r.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_mean_is_centred() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, s, "50 elements virtually never shuffle to identity");
+    }
+}

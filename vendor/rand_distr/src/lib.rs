@@ -1,0 +1,185 @@
+//! Offline mini-`rand_distr`.
+//!
+//! Implements the four distributions this workspace samples — Normal,
+//! LogNormal, Pareto, Exp — over the vendored mini-`rand`. Sampling uses
+//! Box–Muller (normals) and inverse transforms (Pareto, Exp); streams are
+//! deterministic given the generator but not compatible with upstream
+//! `rand_distr`.
+
+use rand::{Rng, RngCore};
+
+/// A sampleable distribution over `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl core::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// Draw a uniform in the *open* interval (0, 1) — keeps `ln` finite.
+fn u_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Gaussian `N(mean, std_dev²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistrError("normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one draw per sample keeps the stream length
+        // independent of caller pairing.
+        let u1 = u_open(rng);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistrError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma).map_err(|_| DistrError("lognormal parameters"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Pareto with scale `x_m` and shape `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistrError> {
+        if scale <= 0.0 || shape <= 0.0 || scale.is_nan() || shape.is_nan() {
+            return Err(DistrError("pareto requires scale > 0 and shape > 0"));
+        }
+        Ok(Pareto { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = u_open(rng);
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Exponential with rate `lambda`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if lambda <= 0.0 || lambda.is_nan() {
+            return Err(DistrError("exp requires lambda > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -u_open(rng).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(xs: &[f64]) -> (f64, f64) {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        (m, v)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, _) = moments(&xs);
+        assert!((m - 2.0).abs() < 0.06, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_bounded_below_and_heavy_tailed() {
+        let d = Pareto::new(1.5, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.5));
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 30.0, "heavy tail expected, max {max}");
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+}

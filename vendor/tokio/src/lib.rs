@@ -1,0 +1,32 @@
+//! Offline mini-`tokio`.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a *small, deterministic* async runtime exposing the subset of
+//! tokio's API the EGOIST protocol crate uses:
+//!
+//! * [`runtime::block_on`] / [`runtime::block_on_paused`] — a
+//!   single-threaded executor. The paused variant starts with the clock
+//!   frozen and **auto-advances virtual time** to the next timer deadline
+//!   whenever every task is idle — the semantics of tokio's
+//!   `#[tokio::test(start_paused = true)]`, which makes hour-long
+//!   protocol runs finish in milliseconds, deterministically.
+//! * [`spawn`] / [`task::spawn_blocking`] / [`task::JoinHandle`].
+//! * [`time`] — `Instant` (virtual when paused), `sleep`, `sleep_until`,
+//!   `timeout`, `interval_at` with `MissedTickBehavior`, `pause`.
+//! * [`sync`] — unbounded mpsc and oneshot channels.
+//! * [`net::UdpSocket`] — nonblocking std sockets polled by the executor.
+//! * [`select!`] — biased polling in declaration order (2–6 branches).
+//!
+//! Single-threaded by design: spawned tasks do not require `Send`, and a
+//! whole test (timers included) is reproducible run-to-run. Blocking
+//! tasks run on real threads; while any is in flight the virtual clock
+//! does not advance.
+
+pub mod macros;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;

@@ -1,0 +1,262 @@
+//! The `select!` macro: biased polling in declaration order.
+//!
+//! Upstream tokio randomizes branch polling order unless `biased;` is
+//! given; this mini version always polls in declaration order (i.e. it
+//! treats every `select!` as biased), which is deterministic — exactly
+//! what the protocol tests want. Futures are constructed fresh per call,
+//! polled until one completes, then *all* are dropped before the winning
+//! branch's handler runs (so handlers can freely borrow what the futures
+//! borrowed).
+
+/// Outcome of a 2-way select.
+pub enum Sel2<A, B> {
+    S1(A),
+    S2(B),
+}
+
+/// Outcome of a 3-way select.
+pub enum Sel3<A, B, C> {
+    S1(A),
+    S2(B),
+    S3(C),
+}
+
+/// Outcome of a 4-way select.
+pub enum Sel4<A, B, C, D> {
+    S1(A),
+    S2(B),
+    S3(C),
+    S4(D),
+}
+
+/// Outcome of a 5-way select.
+pub enum Sel5<A, B, C, D, E> {
+    S1(A),
+    S2(B),
+    S3(C),
+    S4(D),
+    S5(E),
+}
+
+/// Outcome of a 6-way select.
+pub enum Sel6<A, B, C, D, E, F> {
+    S1(A),
+    S2(B),
+    S3(C),
+    S4(D),
+    S5(E),
+    S6(F),
+}
+
+/// Wait on multiple futures, running the handler of the first to finish.
+#[macro_export]
+macro_rules! select {
+    (biased; $($rest:tt)*) => {
+        $crate::select! { $($rest)* }
+    };
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel2::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel2::S2(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel2::S1($p1) => $b1,
+            $crate::macros::Sel2::S2($p2) => $b2,
+        }
+    }};
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block
+     $p3:pat = $f3:expr => $b3:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            let mut __sf3 = ::std::pin::pin!($f3);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel3::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel3::S2(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf3.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel3::S3(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel3::S1($p1) => $b1,
+            $crate::macros::Sel3::S2($p2) => $b2,
+            $crate::macros::Sel3::S3($p3) => $b3,
+        }
+    }};
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block
+     $p3:pat = $f3:expr => $b3:block $p4:pat = $f4:expr => $b4:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            let mut __sf3 = ::std::pin::pin!($f3);
+            let mut __sf4 = ::std::pin::pin!($f4);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel4::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel4::S2(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf3.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel4::S3(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf4.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel4::S4(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel4::S1($p1) => $b1,
+            $crate::macros::Sel4::S2($p2) => $b2,
+            $crate::macros::Sel4::S3($p3) => $b3,
+            $crate::macros::Sel4::S4($p4) => $b4,
+        }
+    }};
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block
+     $p3:pat = $f3:expr => $b3:block $p4:pat = $f4:expr => $b4:block
+     $p5:pat = $f5:expr => $b5:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            let mut __sf3 = ::std::pin::pin!($f3);
+            let mut __sf4 = ::std::pin::pin!($f4);
+            let mut __sf5 = ::std::pin::pin!($f5);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel5::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel5::S2(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf3.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel5::S3(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf4.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel5::S4(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf5.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel5::S5(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel5::S1($p1) => $b1,
+            $crate::macros::Sel5::S2($p2) => $b2,
+            $crate::macros::Sel5::S3($p3) => $b3,
+            $crate::macros::Sel5::S4($p4) => $b4,
+            $crate::macros::Sel5::S5($p5) => $b5,
+        }
+    }};
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block
+     $p3:pat = $f3:expr => $b3:block $p4:pat = $f4:expr => $b4:block
+     $p5:pat = $f5:expr => $b5:block $p6:pat = $f6:expr => $b6:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            let mut __sf3 = ::std::pin::pin!($f3);
+            let mut __sf4 = ::std::pin::pin!($f4);
+            let mut __sf5 = ::std::pin::pin!($f5);
+            let mut __sf6 = ::std::pin::pin!($f6);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S2(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf3.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S3(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf4.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S4(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf5.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S5(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf6.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel6::S6(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel6::S1($p1) => $b1,
+            $crate::macros::Sel6::S2($p2) => $b2,
+            $crate::macros::Sel6::S3($p3) => $b3,
+            $crate::macros::Sel6::S4($p4) => $b4,
+            $crate::macros::Sel6::S5($p5) => $b5,
+            $crate::macros::Sel6::S6($p6) => $b6,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on_paused;
+    use std::time::Duration;
+
+    #[test]
+    fn earliest_timer_wins() {
+        let winner = block_on_paused(async {
+            crate::select! {
+                biased;
+                _ = crate::time::sleep(Duration::from_secs(5)) => { "slow" }
+                _ = crate::time::sleep(Duration::from_secs(1)) => { "fast" }
+            }
+        });
+        assert_eq!(winner, "fast");
+    }
+
+    #[test]
+    fn declaration_order_breaks_ties() {
+        let winner = block_on_paused(async {
+            crate::select! {
+                _ = std::future::ready(()) => { 1 }
+                _ = std::future::ready(()) => { 2 }
+            }
+        });
+        assert_eq!(winner, 1);
+    }
+
+    #[test]
+    fn channel_and_timer_race() {
+        block_on_paused(async {
+            let (tx, mut rx) = crate::sync::mpsc::unbounded_channel();
+            crate::spawn(async move {
+                crate::time::sleep(Duration::from_secs(2)).await;
+                tx.send(42u32).unwrap();
+            });
+            crate::select! {
+                biased;
+                v = rx.recv() => {
+                    assert_eq!(v, Some(42));
+                }
+                _ = crate::time::sleep(Duration::from_secs(10)) => {
+                    panic!("timer should not win");
+                }
+            }
+        });
+    }
+}

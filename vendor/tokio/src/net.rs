@@ -1,0 +1,131 @@
+//! Async UDP over nonblocking std sockets.
+//!
+//! Readiness is implemented by executor polling: a future that hits
+//! `WouldBlock` parks itself on the runtime's I/O waiter list and is
+//! re-polled at millisecond cadence while the runtime is otherwise idle.
+//! Crude next to epoll, but ample for loopback tests and examples.
+
+use crate::runtime;
+use std::future::Future;
+use std::io;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// A UDP socket usable from async tasks.
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`).
+    pub async fn bind(addr: &str) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Send one datagram to `target`.
+    pub async fn send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
+        SendTo {
+            socket: &self.inner,
+            buf,
+            target,
+        }
+        .await
+    }
+
+    /// Receive one datagram.
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        RecvFrom {
+            socket: &self.inner,
+            buf,
+        }
+        .await
+    }
+}
+
+struct SendTo<'a> {
+    socket: &'a std::net::UdpSocket,
+    buf: &'a [u8],
+    target: SocketAddr,
+}
+
+impl Future for SendTo<'_> {
+    type Output = io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.socket.send_to(self.buf, self.target) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                runtime::expect_current("UdpSocket::send_to", |ex| {
+                    ex.register_io(cx.waker().clone());
+                });
+                Poll::Pending
+            }
+            other => Poll::Ready(other),
+        }
+    }
+}
+
+struct RecvFrom<'a> {
+    socket: &'a std::net::UdpSocket,
+    buf: &'a mut [u8],
+}
+
+impl Future for RecvFrom<'_> {
+    type Output = io::Result<(usize, SocketAddr)>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = &mut *self;
+        match me.socket.recv_from(me.buf) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                runtime::expect_current("UdpSocket::recv_from", |ex| {
+                    ex.register_io(cx.waker().clone());
+                });
+                Poll::Pending
+            }
+            other => Poll::Ready(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn udp_loopback_roundtrip() {
+        block_on(async {
+            let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let ba = b.local_addr().unwrap();
+            a.send_to(b"hello", ba).await.unwrap();
+            let mut buf = [0u8; 64];
+            let (len, from) = b.recv_from(&mut buf).await.unwrap();
+            assert_eq!(&buf[..len], b"hello");
+            assert_eq!(from, a.local_addr().unwrap());
+        });
+    }
+
+    #[test]
+    fn udp_recv_waits_for_late_sender() {
+        block_on(async {
+            let a = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let aa = a.local_addr().unwrap();
+            crate::spawn(async move {
+                crate::time::sleep(std::time::Duration::from_millis(20)).await;
+                let s = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+                s.send_to(b"late", aa).await.unwrap();
+            });
+            let mut buf = [0u8; 16];
+            let (len, _) = a.recv_from(&mut buf).await.unwrap();
+            assert_eq!(&buf[..len], b"late");
+        });
+    }
+}

@@ -1,0 +1,411 @@
+//! The single-threaded executor and its clock.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+/// The deduplicated ready queue: at most one outstanding wake per task.
+/// Without the dedup, N duplicate timer entries waking a task N times
+/// would poll it N times, each pending poll registering fresh timer
+/// entries — exponential growth.
+#[derive(Default)]
+struct ReadyQueue {
+    order: VecDeque<usize>,
+    queued: std::collections::HashSet<usize>,
+}
+
+/// State shared with wakers (which may fire from blocking threads).
+pub(crate) struct Shared {
+    ready: Mutex<ReadyQueue>,
+    driver: std::thread::Thread,
+    /// Number of `spawn_blocking` tasks still running; while > 0 the
+    /// paused clock must not auto-advance.
+    pub(crate) blocking_inflight: AtomicUsize,
+    /// Set by any wake to cut idle parking short.
+    stirred: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn notify(&self, task: usize) {
+        {
+            let mut q = self.ready.lock().unwrap();
+            if q.queued.insert(task) {
+                q.order.push_back(task);
+            }
+        }
+        self.stirred.store(true, Ordering::SeqCst);
+        self.driver.unpark();
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.shared.notify(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.shared.notify(self.id);
+    }
+}
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+pub(crate) struct TimerEntry {
+    pub(crate) deadline_nanos: u64,
+    seq: u64,
+    pub(crate) waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline_nanos == other.deadline_nanos && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .deadline_nanos
+            .cmp(&self.deadline_nanos)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The executor: a slab of tasks, a timer heap, an I/O waiter list and a
+/// (possibly virtual) clock.
+pub(crate) struct Executor {
+    pub(crate) shared: Arc<Shared>,
+    tasks: RefCell<Vec<Option<TaskFuture>>>,
+    free_slots: RefCell<Vec<usize>>,
+    timers: RefCell<std::collections::BinaryHeap<TimerEntry>>,
+    timer_seq: std::cell::Cell<u64>,
+    io_wakers: RefCell<Vec<Waker>>,
+    /// Virtual-nanoseconds now when paused; offset origin when real.
+    paused: std::cell::Cell<bool>,
+    now_nanos: std::cell::Cell<u64>,
+    real_epoch: std::time::Instant,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<Executor>>> = const { RefCell::new(None) };
+}
+
+/// Process-wide epoch for `Instant::now()` outside any runtime.
+static GLOBAL_EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+
+pub(crate) fn global_epoch() -> std::time::Instant {
+    *GLOBAL_EPOCH.get_or_init(std::time::Instant::now)
+}
+
+impl Executor {
+    fn new(paused: bool) -> Rc<Self> {
+        Rc::new(Executor {
+            shared: Arc::new(Shared {
+                ready: Mutex::new(ReadyQueue::default()),
+                driver: std::thread::current(),
+                blocking_inflight: AtomicUsize::new(0),
+                stirred: AtomicBool::new(false),
+            }),
+            tasks: RefCell::new(Vec::new()),
+            free_slots: RefCell::new(Vec::new()),
+            timers: RefCell::new(std::collections::BinaryHeap::new()),
+            timer_seq: std::cell::Cell::new(0),
+            io_wakers: RefCell::new(Vec::new()),
+            paused: std::cell::Cell::new(paused),
+            now_nanos: std::cell::Cell::new(0),
+            real_epoch: std::time::Instant::now(),
+        })
+    }
+
+    /// Current time in nanoseconds since this runtime's epoch.
+    pub(crate) fn now_nanos(&self) -> u64 {
+        if self.paused.get() {
+            self.now_nanos.get()
+        } else {
+            self.real_epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        }
+    }
+
+    pub(crate) fn pause(&self) {
+        if !self.paused.get() {
+            let now = self.real_epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.now_nanos.set(now);
+            self.paused.set(true);
+        }
+    }
+
+    pub(crate) fn register_timer(&self, deadline_nanos: u64, waker: Waker) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(TimerEntry {
+            deadline_nanos,
+            seq,
+            waker,
+        });
+    }
+
+    pub(crate) fn register_io(&self, waker: Waker) {
+        self.io_wakers.borrow_mut().push(waker);
+    }
+
+    pub(crate) fn spawn_task(&self, fut: TaskFuture) {
+        let id = {
+            let mut tasks = self.tasks.borrow_mut();
+            match self.free_slots.borrow_mut().pop() {
+                Some(id) => {
+                    tasks[id] = Some(fut);
+                    id
+                }
+                None => {
+                    tasks.push(Some(fut));
+                    tasks.len() - 1
+                }
+            }
+        };
+        self.shared.notify(id);
+    }
+
+    fn poll_task(&self, id: usize) {
+        let fut = {
+            let mut tasks = self.tasks.borrow_mut();
+            match tasks.get_mut(id) {
+                Some(slot) => slot.take(),
+                None => None,
+            }
+        };
+        let Some(mut fut) = fut else { return };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            shared: Arc::clone(&self.shared),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                // Task done: recycle the slot. A stale waker may still
+                // name this id later; the resulting poll is a legal
+                // spurious wake for whichever task reuses the slot.
+                self.free_slots.borrow_mut().push(id);
+            }
+            Poll::Pending => {
+                self.tasks.borrow_mut()[id] = Some(fut);
+            }
+        }
+    }
+
+    /// Wake every timer whose deadline has passed. Returns whether any
+    /// fired.
+    fn fire_due_timers(&self) -> bool {
+        let now = self.now_nanos();
+        let mut fired = false;
+        let mut timers = self.timers.borrow_mut();
+        while let Some(head) = timers.peek() {
+            if head.deadline_nanos <= now {
+                let entry = timers.pop().expect("peeked");
+                entry.waker.wake();
+                fired = true;
+            } else {
+                break;
+            }
+        }
+        fired
+    }
+
+    fn earliest_timer(&self) -> Option<u64> {
+        self.timers.borrow().peek().map(|e| e.deadline_nanos)
+    }
+
+    fn wake_io_waiters(&self) -> bool {
+        let wakers: Vec<Waker> = self.io_wakers.borrow_mut().drain(..).collect();
+        let any = !wakers.is_empty();
+        for w in wakers {
+            w.wake();
+        }
+        any
+    }
+
+    fn has_ready(&self) -> bool {
+        !self.shared.ready.lock().unwrap().order.is_empty()
+    }
+
+    fn pop_ready(&self) -> Option<usize> {
+        let mut q = self.shared.ready.lock().unwrap();
+        let id = q.order.pop_front()?;
+        // Un-mark before the poll so wakes arriving *during* the poll
+        // re-queue the task instead of being lost.
+        q.queued.remove(&id);
+        Some(id)
+    }
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Executor) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|e| f(e)))
+}
+
+pub(crate) fn expect_current<R>(what: &str, f: impl FnOnce(&Executor) -> R) -> R {
+    with_current(f).unwrap_or_else(|| panic!("{what} requires a running mini-tokio runtime"))
+}
+
+struct EnterGuard;
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Ready-queue id of the root future (which lives on `run`'s stack, so
+/// it may borrow the caller's locals — no `'static` requirement).
+const ROOT: usize = usize::MAX - 1;
+
+fn run<F: Future>(fut: F, paused: bool) -> F::Output {
+    CURRENT.with(|c| {
+        assert!(
+            c.borrow().is_none(),
+            "nested mini-tokio runtimes are not supported"
+        );
+    });
+    let exec = Executor::new(paused);
+    CURRENT.with(|c| *c.borrow_mut() = Some(Rc::clone(&exec)));
+    let _guard = EnterGuard;
+
+    let mut fut = std::pin::pin!(fut);
+    let root_waker = Waker::from(Arc::new(TaskWaker {
+        id: ROOT,
+        shared: Arc::clone(&exec.shared),
+    }));
+    exec.shared.notify(ROOT);
+
+    loop {
+        // 1. Drain the ready queue.
+        while let Some(id) = exec.pop_ready() {
+            if id == ROOT {
+                let mut cx = Context::from_waker(&root_waker);
+                if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+                    return out;
+                }
+            } else {
+                exec.poll_task(id);
+            }
+        }
+
+        // 2. Fire timers that are already due.
+        if exec.fire_due_timers() {
+            continue;
+        }
+
+        // 3. Idle. Blocking work pins the clock: wait for it.
+        if exec.shared.blocking_inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::park_timeout(Duration::from_micros(100));
+            continue;
+        }
+
+        // 4. I/O waiters: re-poll their sockets at millisecond cadence.
+        let had_io = exec.wake_io_waiters();
+        if had_io {
+            if !exec.has_ready() {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+            continue;
+        }
+
+        // 5. Pure timer wait.
+        match exec.earliest_timer() {
+            Some(deadline) => {
+                if exec.paused.get() {
+                    // Virtual time: jump straight to the deadline.
+                    exec.now_nanos.set(deadline.max(exec.now_nanos.get()));
+                } else {
+                    let now = exec.now_nanos();
+                    if deadline > now {
+                        exec.shared.stirred.store(false, Ordering::SeqCst);
+                        std::thread::park_timeout(Duration::from_nanos(deadline - now));
+                    }
+                }
+            }
+            None => {
+                if exec.has_ready() {
+                    continue;
+                }
+                panic!(
+                    "mini-tokio deadlock: the root task is pending but no task is \
+                     runnable, no timer is armed, no I/O is pending and no blocking \
+                     task is in flight"
+                );
+            }
+        }
+    }
+}
+
+/// Run a future to completion on a fresh runtime with the real clock.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    run(fut, false)
+}
+
+/// Run a future to completion with the clock paused from the start —
+/// virtual time auto-advances to the next timer whenever all tasks idle
+/// (the `#[tokio::test(start_paused = true)]` semantics).
+pub fn block_on_paused<F: Future>(fut: F) -> F::Output {
+    run(fut, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn paused_time_jumps_over_long_sleeps() {
+        let wall = std::time::Instant::now();
+        block_on_paused(async {
+            crate::time::sleep(Duration::from_secs(3600)).await;
+        });
+        assert!(
+            wall.elapsed() < Duration::from_secs(2),
+            "virtual hour took {:?} real time",
+            wall.elapsed()
+        );
+    }
+
+    #[test]
+    fn spawned_tasks_run_and_join() {
+        let out = block_on(async {
+            let h = crate::spawn(async { 7u32 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn virtual_clock_is_exact() {
+        block_on_paused(async {
+            let t0 = crate::time::Instant::now();
+            crate::time::sleep(Duration::from_millis(250)).await;
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            assert!((ms - 250.0).abs() < 1e-6, "elapsed {ms} ms");
+        });
+    }
+}

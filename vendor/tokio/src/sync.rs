@@ -1,0 +1,282 @@
+//! Channels: unbounded mpsc and oneshot.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+pub mod mpsc {
+    use super::*;
+
+    struct Chan<T> {
+        queue: VecDeque<T>,
+        rx_waker: Option<Waker>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    /// Sending half; clonable.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// Receiving half.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    /// The receiver was dropped; the value comes back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Create an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Arc::new(Mutex::new(Chan {
+            queue: VecDeque::new(),
+            rx_waker: None,
+            senders: 1,
+            rx_alive: true,
+        }));
+        (
+            UnboundedSender {
+                chan: Arc::clone(&chan),
+            },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().unwrap().senders += 1;
+            UnboundedSender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let mut ch = self.chan.lock().unwrap();
+            ch.senders -= 1;
+            if ch.senders == 0 {
+                // Stream end: wake the receiver so recv() can yield None.
+                if let Some(w) = ch.rx_waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut ch = self.chan.lock().unwrap();
+            if !ch.rx_alive {
+                return Err(SendError(value));
+            }
+            ch.queue.push_back(value);
+            if let Some(w) = ch.rx_waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.chan.lock().unwrap().rx_alive = false;
+        }
+    }
+
+    /// Future returned by [`UnboundedReceiver::recv`].
+    pub struct Recv<'a, T> {
+        chan: &'a Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut ch = self.chan.lock().unwrap();
+            if let Some(v) = ch.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if ch.senders == 0 {
+                return Poll::Ready(None);
+            }
+            ch.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Await the next value; `None` once all senders are gone.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { chan: &self.chan }
+        }
+
+        /// Non-blocking pop.
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.chan.lock().unwrap().queue.pop_front()
+        }
+    }
+}
+
+pub mod oneshot {
+    use super::*;
+
+    struct Slot<T> {
+        value: Option<T>,
+        rx_waker: Option<Waker>,
+        tx_gone: bool,
+        rx_gone: bool,
+    }
+
+    /// Sending half (consumed by `send`).
+    pub struct Sender<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    /// Receiving half; a future of the sent value.
+    pub struct Receiver<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    /// The sender was dropped without sending.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let slot = Arc::new(Mutex::new(Slot {
+            value: None,
+            rx_waker: None,
+            tx_gone: false,
+            rx_gone: false,
+        }));
+        (
+            Sender {
+                slot: Arc::clone(&slot),
+            },
+            Receiver { slot },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `value`; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut s = self.slot.lock().unwrap();
+            if s.rx_gone {
+                return Err(value);
+            }
+            s.value = Some(value);
+            if let Some(w) = s.rx_waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.slot.lock().unwrap();
+            s.tx_gone = true;
+            if let Some(w) = s.rx_waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.slot.lock().unwrap().rx_gone = true;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.slot.lock().unwrap();
+            if let Some(v) = s.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if s.tx_gone {
+                return Poll::Ready(Err(RecvError));
+            }
+            s.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on_paused;
+    use std::time::Duration;
+
+    #[test]
+    fn mpsc_delivers_in_order() {
+        block_on_paused(async {
+            let (tx, mut rx) = super::mpsc::unbounded_channel();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+        });
+    }
+
+    #[test]
+    fn mpsc_ends_when_senders_drop() {
+        block_on_paused(async {
+            let (tx, mut rx) = super::mpsc::unbounded_channel::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv().await, Some(9));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn mpsc_wakes_waiting_receiver() {
+        block_on_paused(async {
+            let (tx, mut rx) = super::mpsc::unbounded_channel();
+            crate::spawn(async move {
+                crate::time::sleep(Duration::from_secs(2)).await;
+                tx.send(5u8).unwrap();
+            });
+            assert_eq!(rx.recv().await, Some(5));
+        });
+    }
+
+    #[test]
+    fn oneshot_roundtrip_and_drop_error() {
+        block_on_paused(async {
+            let (tx, rx) = super::oneshot::channel();
+            tx.send(11u32).unwrap();
+            assert_eq!(rx.await, Ok(11));
+
+            let (tx2, rx2) = super::oneshot::channel::<u32>();
+            drop(tx2);
+            assert!(rx2.await.is_err());
+        });
+    }
+}

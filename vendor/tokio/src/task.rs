@@ -1,0 +1,135 @@
+//! Task spawning and join handles.
+
+use crate::runtime;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Handle to a spawned (or blocking) task; a future of its result.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+/// The task failed to produce a value (it panicked).
+#[derive(Debug)]
+pub struct JoinError;
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(v) = st.result.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if st.finished {
+            return Poll::Ready(Err(JoinError));
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+fn new_state<T>() -> Arc<Mutex<JoinState<T>>> {
+    Arc::new(Mutex::new(JoinState {
+        result: None,
+        waker: None,
+        finished: false,
+    }))
+}
+
+fn complete<T>(state: &Arc<Mutex<JoinState<T>>>, value: Option<T>) {
+    let mut st = state.lock().unwrap();
+    st.result = value;
+    st.finished = true;
+    if let Some(w) = st.waker.take() {
+        w.wake();
+    }
+}
+
+/// Spawn a future onto the current runtime.
+///
+/// Unlike upstream tokio the executor is single-threaded, so `Send` is
+/// not required of the future.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = new_state();
+    let st = Arc::clone(&state);
+    runtime::expect_current("tokio::spawn", |exec| {
+        exec.spawn_task(Box::pin(async move {
+            let out = fut.await;
+            complete(&st, Some(out));
+        }));
+    });
+    JoinHandle { state }
+}
+
+/// Run a CPU-bound closure on a dedicated thread; the virtual clock does
+/// not advance while it is in flight.
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let state = new_state();
+    let st = Arc::clone(&state);
+    let shared = runtime::expect_current("tokio::task::spawn_blocking", |exec| {
+        Arc::clone(&exec.shared)
+    });
+    shared.blocking_inflight.fetch_add(1, Ordering::SeqCst);
+    let shared2 = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).ok();
+        complete(&st, out);
+        shared2.blocking_inflight.fetch_sub(1, Ordering::SeqCst);
+        // Stir the driver so it notices completion promptly.
+        shared2.notify(usize::MAX);
+    });
+    JoinHandle { state }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on_paused;
+    use std::time::Duration;
+
+    #[test]
+    fn spawn_blocking_result_arrives_under_paused_clock() {
+        let out = block_on_paused(async {
+            let h = super::spawn_blocking(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                123u64
+            });
+            h.await.unwrap_or_default()
+        });
+        assert_eq!(out, 123);
+    }
+
+    #[test]
+    fn panicked_blocking_task_yields_default_via_unwrap_or_default() {
+        let out = block_on_paused(async {
+            let h = super::spawn_blocking(|| -> u32 { panic!("boom") });
+            h.await.unwrap_or_default()
+        });
+        assert_eq!(out, 0);
+    }
+}

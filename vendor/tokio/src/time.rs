@@ -1,0 +1,254 @@
+//! Virtual-clock-aware time utilities.
+
+use crate::runtime;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+/// A measurement of the runtime clock (virtual when paused). Nanoseconds
+/// since the current runtime's epoch (or a process-wide epoch outside a
+/// runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    nanos: u64,
+}
+
+fn clock_nanos() -> u64 {
+    runtime::with_current(|e| e.now_nanos()).unwrap_or_else(|| {
+        runtime::global_epoch()
+            .elapsed()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    })
+}
+
+impl Instant {
+    pub fn now() -> Instant {
+        Instant {
+            nanos: clock_nanos(),
+        }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(clock_nanos().saturating_sub(self.nanos))
+    }
+
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        let extra = u64::try_from(d.as_nanos()).ok()?;
+        self.nanos.checked_add(extra).map(|nanos| Instant { nanos })
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, d: Duration) -> Instant {
+        self.checked_add(d).expect("instant overflow")
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, other: Instant) -> Duration {
+        self.duration_since(other)
+    }
+}
+
+/// Freeze the current runtime's clock (subsequent time only advances via
+/// auto-advance when all tasks are idle).
+pub fn pause() {
+    runtime::expect_current("tokio::time::pause", |e| e.pause());
+}
+
+/// Future that completes at `deadline`.
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if clock_nanos() >= self.deadline.nanos {
+            return Poll::Ready(());
+        }
+        runtime::expect_current("tokio::time::sleep", |e| {
+            e.register_timer(self.deadline.nanos, cx.waker().clone());
+        });
+        Poll::Pending
+    }
+}
+
+/// Sleep for `d`.
+pub fn sleep(d: Duration) -> Sleep {
+    sleep_until(Instant::now() + d)
+}
+
+/// Sleep until `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+pub mod error {
+    /// The deadline of a [`super::timeout`] elapsed first.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Elapsed;
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+}
+
+pub use error::Elapsed;
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    fut: Pin<Box<F>>,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut self.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Await `fut` for at most `d`.
+pub fn timeout<F: Future>(d: Duration, fut: F) -> Timeout<F> {
+    Timeout {
+        fut: Box::pin(fut),
+        sleep: sleep(d),
+    }
+}
+
+/// What a lagging [`Interval`] does about missed ticks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MissedTickBehavior {
+    /// Fire all missed ticks back to back.
+    #[default]
+    Burst,
+    /// Skip missed ticks; next tick on the next period boundary.
+    Skip,
+    /// Forget the schedule; next tick one full period from now.
+    Delay,
+}
+
+/// Periodic timer.
+pub struct Interval {
+    next: Instant,
+    period: Duration,
+    behavior: MissedTickBehavior,
+}
+
+impl Interval {
+    pub fn set_missed_tick_behavior(&mut self, behavior: MissedTickBehavior) {
+        self.behavior = behavior;
+    }
+
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Complete at the next scheduled tick. Cancel-safe: dropping the
+    /// returned future does not consume the tick.
+    pub async fn tick(&mut self) -> Instant {
+        let fired = self.next;
+        sleep_until(fired).await;
+        let now = Instant::now();
+        self.next = match self.behavior {
+            MissedTickBehavior::Burst => fired + self.period,
+            MissedTickBehavior::Delay => now + self.period,
+            MissedTickBehavior::Skip => {
+                let mut next = fired + self.period;
+                while next <= now {
+                    next = next + self.period;
+                }
+                next
+            }
+        };
+        fired
+    }
+}
+
+/// An interval first firing at `start`, then every `period`.
+pub fn interval_at(start: Instant, period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        next: start,
+        period,
+        behavior: MissedTickBehavior::Burst,
+    }
+}
+
+/// An interval firing immediately, then every `period`.
+pub fn interval(period: Duration) -> Interval {
+    interval_at(Instant::now(), period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on_paused;
+
+    #[test]
+    fn timeout_err_when_inner_never_completes() {
+        let r = block_on_paused(async {
+            timeout(Duration::from_secs(5), std::future::pending::<()>()).await
+        });
+        assert_eq!(r, Err(Elapsed));
+    }
+
+    #[test]
+    fn timeout_ok_when_inner_wins() {
+        let r = block_on_paused(async {
+            timeout(Duration::from_secs(5), async {
+                sleep(Duration::from_secs(1)).await;
+                9u8
+            })
+            .await
+        });
+        assert_eq!(r, Ok(9));
+    }
+
+    #[test]
+    fn interval_ticks_on_schedule() {
+        block_on_paused(async {
+            let t0 = Instant::now();
+            let mut iv = interval_at(t0 + Duration::from_secs(2), Duration::from_secs(10));
+            iv.set_missed_tick_behavior(MissedTickBehavior::Skip);
+            iv.tick().await;
+            assert_eq!(t0.elapsed(), Duration::from_secs(2));
+            iv.tick().await;
+            assert_eq!(t0.elapsed(), Duration::from_secs(12));
+        });
+    }
+
+    #[test]
+    fn instants_order_and_subtract() {
+        block_on_paused(async {
+            let a = Instant::now();
+            sleep(Duration::from_millis(5)).await;
+            let b = Instant::now();
+            assert!(b > a);
+            assert_eq!(b - a, Duration::from_millis(5));
+        });
+    }
+}
