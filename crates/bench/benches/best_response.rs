@@ -130,6 +130,45 @@ fn bench_hybrid_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_membership_mask(c: &mut Criterion) {
+    // The satellite micro-opt plus the pruned swap scan: the shipped
+    // `greedy`/`local_search` track membership in boolean masks, abort
+    // hopeless accumulations early and bound-filter swap pairs;
+    // `*_reference` are the pre-optimization loops (`Vec::contains`,
+    // full scans) the Recompute oracle still runs. Decisions are
+    // bit-identical; only the wall time differs, and the gap widens
+    // with |cand|.
+    let mut group = c.benchmark_group("membership_mask");
+    group.sample_size(10);
+    for n in [200usize, 256, 400] {
+        let k = 8;
+        let f = fixture(n, k);
+        let ctx = f.ctx(k, &f.candidates);
+        let inst = BrInstance::build(&ctx);
+        group.bench_with_input(BenchmarkId::new("masked_greedy", n), &n, |b, _| {
+            b.iter(|| black_box(inst.greedy(k, &[])))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_reference", n), &n, |b, _| {
+            b.iter(|| black_box(inst.greedy_reference(k, &[])))
+        });
+        // Full local search at |cand| ≥ 200 — the hot path the masks
+        // and the pruned scan actually serve inside the simulator.
+        group.bench_with_input(BenchmarkId::new("local_search", n), &n, |b, _| {
+            b.iter(|| {
+                let init = inst.greedy(k, &[]);
+                black_box(inst.local_search(k, init, &[], 64))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_search_reference", n), &n, |b, _| {
+            b.iter(|| {
+                let init = inst.greedy_reference(k, &[]);
+                black_box(inst.local_search_reference(k, init, &[], 64))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_full_sweep(c: &mut Criterion) {
     // One full round-robin sweep of the 50-node game, per policy.
     let mut group = c.benchmark_group("game_sweep_n50");
@@ -158,6 +197,7 @@ criterion_group!(
     benches,
     bench_best_response,
     bench_hybrid_ablation,
+    bench_membership_mask,
     bench_full_sweep
 );
 criterion_main!(benches);

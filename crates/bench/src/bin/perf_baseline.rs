@@ -1,0 +1,270 @@
+//! `perf_baseline` — the tracked performance trajectory of the epoch
+//! route-state engine.
+//!
+//! Times best-response epoch stepping (delay metric, n ∈ {50, 200, 800})
+//! and the closed-loop traffic engine under both route-state engines:
+//!
+//! * `baseline_wall_ms` — [`EngineMode::Recompute`]: announced matrix +
+//!   from-scratch residual APSP every turn, pre-optimization BR
+//!   greedy/local-search loops. A *conservative* stand-in for the
+//!   pre-change implementation: it shares the (cheaper) epoch-granular
+//!   underlay sampling and the current data-plane code, so it
+//!   understates what the previous commit actually cost — the true
+//!   pre-change binary measured ~28% slower than the oracle on the
+//!   n=200 scenario on the same host (see EXPERIMENTS.md);
+//! * `wall_ms` — [`EngineMode::Epoch`], shared snapshots + incremental
+//!   residual repair.
+//!
+//! Both engines are run on identical seeds in the same process and their
+//! simulation outputs are fingerprinted; `outputs_identical` asserts the
+//! speedup is a pure optimization. Results land in `BENCH_perf.json`
+//! (schema `egoist-perf-baseline/v1`, insertion-ordered keys, so the
+//! document layout is byte-deterministic; timings naturally vary).
+//!
+//! Usage:
+//!   perf_baseline [--quick] [--out PATH]   # measure and write
+//!   perf_baseline --check PATH             # validate schema, exit ≠ 0 on drift
+
+use egoist_core::policies::PolicyKind;
+use egoist_core::sim::{run, EngineMode, Metric, SimConfig, SimResult};
+use egoist_traffic::engine::{TrafficConfig, TrafficEngine};
+use egoist_traffic::json::{array, num, JsonObject};
+use std::time::Instant;
+
+const SCHEMA: &str = "egoist-perf-baseline/v1";
+
+/// FNV-1a over the bit patterns of a sample series — a cheap output
+/// fingerprint that any divergence between engines will flip.
+fn fingerprint_sim(r: &SimResult) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for s in &r.samples {
+        eat(s.epoch as u64);
+        eat(s.rewirings as u64);
+        eat(s.alive as u64);
+        for series in [&s.individual_cost, &s.efficiency, &s.bandwidth_utility] {
+            for x in series.iter() {
+                eat(x.to_bits());
+            }
+        }
+    }
+    h
+}
+
+fn fingerprint_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct ScenarioResult {
+    name: String,
+    n: usize,
+    k: usize,
+    epochs: usize,
+    baseline_wall_ms: f64,
+    wall_ms: f64,
+    rewirings: usize,
+    outputs_identical: bool,
+    fingerprint: u64,
+}
+
+impl ScenarioResult {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("n", self.n as u64)
+            .u64("k", self.k as u64)
+            .u64("epochs", self.epochs as u64)
+            .f64("baseline_wall_ms", self.baseline_wall_ms)
+            .f64("wall_ms", self.wall_ms)
+            .f64("speedup", self.baseline_wall_ms / self.wall_ms)
+            .u64("rewirings", self.rewirings as u64)
+            .bool("outputs_identical", self.outputs_identical)
+            .str("fingerprint", &format!("{:016x}", self.fingerprint))
+            .finish()
+    }
+}
+
+fn sim_cfg(n: usize, k: usize, epochs: usize, engine: EngineMode) -> SimConfig {
+    let mut c = SimConfig::baseline(k, PolicyKind::BestResponse, Metric::DelayPing, 42);
+    c.n = n;
+    c.epochs = epochs;
+    c.warmup_epochs = epochs / 3;
+    c.engine = engine;
+    c
+}
+
+/// Time one full BR epoch-stepping run under `engine`.
+fn time_sim(n: usize, k: usize, epochs: usize, engine: EngineMode) -> (f64, SimResult) {
+    let cfg = sim_cfg(n, k, epochs, engine);
+    let t = Instant::now();
+    let result = run(cfg);
+    (t.elapsed().as_secs_f64() * 1e3, result)
+}
+
+fn epoch_stepping_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult {
+    eprintln!("# br_delay_n{n}: oracle (Recompute) ...");
+    let (baseline_ms, oracle) = time_sim(n, k, epochs, EngineMode::Recompute);
+    eprintln!("#   {baseline_ms:.0} ms; epoch engine ...");
+    let (wall_ms, fast) = time_sim(n, k, epochs, EngineMode::Epoch);
+    eprintln!("#   {wall_ms:.0} ms ({:.1}x)", baseline_ms / wall_ms);
+    let rewirings: usize = fast.samples.iter().map(|s| s.rewirings).sum();
+    let (fa, fo) = (fingerprint_sim(&fast), fingerprint_sim(&oracle));
+    ScenarioResult {
+        name: format!("br_delay_n{n}"),
+        n,
+        k,
+        epochs,
+        baseline_wall_ms: baseline_ms,
+        wall_ms,
+        rewirings,
+        outputs_identical: fa == fo,
+        fingerprint: fa,
+    }
+}
+
+fn traffic_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult {
+    let base = |engine: EngineMode| {
+        let mut cfg = TrafficConfig::new(n, k, PolicyKind::BestResponse, Metric::DelayPing, 42);
+        cfg.sim.epochs = epochs;
+        cfg.sim.warmup_epochs = epochs / 3;
+        cfg.sim.engine = engine;
+        cfg.flows_per_epoch = 2 * n;
+        cfg
+    };
+    eprintln!("# br_traffic_n{n}: oracle (Recompute) ...");
+    let t = Instant::now();
+    let oracle = TrafficEngine::run(&base(EngineMode::Recompute)).to_json();
+    let baseline_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!("#   {baseline_ms:.0} ms; epoch engine ...");
+    let t = Instant::now();
+    let fast_report = TrafficEngine::run(&base(EngineMode::Epoch));
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!("#   {wall_ms:.0} ms ({:.1}x)", baseline_ms / wall_ms);
+    let fast = fast_report.to_json();
+    ScenarioResult {
+        name: format!("br_traffic_n{n}"),
+        n,
+        k,
+        epochs,
+        baseline_wall_ms: baseline_ms,
+        wall_ms,
+        rewirings: 0,
+        outputs_identical: fast == oracle,
+        fingerprint: fingerprint_str(&fast),
+    }
+}
+
+fn measure(quick: bool) -> String {
+    let scenarios: Vec<ScenarioResult> = if quick {
+        vec![
+            epoch_stepping_scenario(50, 5, 3),
+            epoch_stepping_scenario(200, 8, 2),
+            traffic_scenario(50, 5, 4),
+        ]
+    } else {
+        vec![
+            epoch_stepping_scenario(50, 5, 8),
+            epoch_stepping_scenario(200, 8, 4),
+            epoch_stepping_scenario(800, 10, 2),
+            traffic_scenario(200, 8, 4),
+        ]
+    };
+    let mut body = JsonObject::new()
+        .str("schema", SCHEMA)
+        .str("mode", if quick { "quick" } else { "full" });
+    let mut obj = JsonObject::new();
+    for s in &scenarios {
+        obj = obj.raw(&s.name, s.to_json());
+    }
+    body = body.raw("scenarios", obj.finish());
+    let speedups: Vec<String> = scenarios
+        .iter()
+        .map(|s| num(s.baseline_wall_ms / s.wall_ms))
+        .collect();
+    body = body.raw("speedups", array(speedups));
+    body.finish()
+}
+
+/// Fields every scenario entry must carry; `--check` fails when any
+/// disappears (schema drift) or the schema tag changes.
+const REQUIRED_FIELDS: &[&str] = &[
+    "\"n\":",
+    "\"k\":",
+    "\"epochs\":",
+    "\"baseline_wall_ms\":",
+    "\"wall_ms\":",
+    "\"speedup\":",
+    "\"rewirings\":",
+    "\"outputs_identical\":",
+    "\"fingerprint\":",
+];
+
+fn check(path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if !doc.contains(&format!("\"schema\":{:?}", SCHEMA)) {
+        return Err(format!("schema tag is not {SCHEMA}"));
+    }
+    if !doc.contains("\"scenarios\":{") {
+        return Err("no scenarios object".into());
+    }
+    // Every scenario entry must carry every required field — a
+    // document-wide substring test would let one drifted scenario hide
+    // behind another, so fields are counted against the scenario count
+    // (one `fingerprint` per scenario entry, by construction).
+    let scenario_count = doc.matches("\"fingerprint\":").count();
+    if scenario_count == 0 {
+        return Err("no scenario entries".into());
+    }
+    for field in REQUIRED_FIELDS {
+        let found = doc.matches(field).count();
+        if found != scenario_count {
+            return Err(format!(
+                "field {field} appears {found}x for {scenario_count} scenarios"
+            ));
+        }
+    }
+    if doc.contains("\"outputs_identical\":false") {
+        return Err("an engine comparison diverged (outputs_identical=false)".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_perf.json");
+        match check(path) {
+            Ok(()) => {
+                println!("{path}: schema ok");
+            }
+            Err(e) => {
+                eprintln!("{path}: schema drift: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let doc = measure(quick);
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_perf.json");
+    println!("{doc}");
+    check(&out).expect("self-written document must validate");
+}

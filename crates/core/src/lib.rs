@@ -34,6 +34,7 @@ pub mod multipath;
 pub mod policies;
 pub mod sampling;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod wiring;
 

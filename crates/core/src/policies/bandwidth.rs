@@ -105,18 +105,17 @@ impl BwInstance {
         total
     }
 
-    /// Greedy max-marginal-gain seeding.
+    /// Greedy max-marginal-gain seeding. Membership is a boolean mask,
+    /// not `Vec::contains` — same rationale as `BrInstance::greedy`.
     pub fn greedy(&self, k: usize) -> Vec<usize> {
         let nd = self.dests.len();
         let mut chosen: Vec<usize> = Vec::new();
+        let mut in_chosen = vec![false; self.cand.len()];
         let mut best_per_dest = vec![0.0f64; nd];
         while chosen.len() < k.min(self.cand.len()) {
             let mut pick = None;
             let mut pick_util = -1.0;
-            for c in 0..self.cand.len() {
-                if chosen.contains(&c) {
-                    continue;
-                }
+            for (c, _) in in_chosen.iter().enumerate().filter(|(_, &taken)| !taken) {
                 let mut utility = 0.0;
                 for (t, (&w, &best)) in self.weight.iter().zip(best_per_dest.iter()).enumerate() {
                     utility += w * best.max(self.u(c, t));
@@ -128,6 +127,7 @@ impl BwInstance {
             }
             let Some(c) = pick else { break };
             chosen.push(c);
+            in_chosen[c] = true;
             for (t, b) in best_per_dest.iter_mut().enumerate() {
                 *b = b.max(self.u(c, t));
             }
@@ -143,6 +143,10 @@ impl BwInstance {
         subset.dedup();
         if subset.len() < k.min(self.cand.len()) {
             subset = self.greedy(k);
+        }
+        let mut in_subset = vec![false; self.cand.len()];
+        for &c in &subset {
+            in_subset[c] = true;
         }
         let mut utility = self.eval(&subset);
         for _ in 0..max_rounds {
@@ -162,10 +166,7 @@ impl BwInstance {
             }
             let mut best_swap: Option<(usize, usize, f64)> = None;
             for &out in &subset {
-                for inn in 0..self.cand.len() {
-                    if subset.contains(&inn) {
-                        continue;
-                    }
+                for (inn, _) in in_subset.iter().enumerate().filter(|(_, &taken)| !taken) {
                     let mut new_u = 0.0;
                     for t in 0..nd {
                         let surviving = if b1[t].1 == out { b2[t] } else { b1[t].0 };
@@ -182,6 +183,8 @@ impl BwInstance {
                 Some((out, inn, new_u)) => {
                     subset.retain(|&c| c != out);
                     subset.push(inn);
+                    in_subset[out] = false;
+                    in_subset[inn] = true;
                     utility = new_u;
                 }
                 None => break,

@@ -30,6 +30,15 @@ impl EpsilonBr {
         }
     }
 
+    /// BR(ε) whose inner solver runs the pre-optimization reference
+    /// loops (the `Recompute` oracle's timing-faithful mode).
+    pub fn reference(epsilon: f64) -> Self {
+        EpsilonBr {
+            epsilon,
+            inner: BestResponse::local_search().with_reference(true),
+        }
+    }
+
     /// Cost of keeping the current wiring, under announced information.
     pub fn current_cost(ctx: &WiringContext<'_>) -> f64 {
         let inst = BrInstance::build(ctx);

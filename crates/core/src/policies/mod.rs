@@ -106,6 +106,26 @@ impl PolicyKind {
         }
     }
 
+    /// Instantiate with the pre-optimization reference solvers where
+    /// they exist (the BR family's original greedy / local-search
+    /// loops). Used by the `Recompute` oracle so `perf_baseline`'s
+    /// `baseline_wall_ms` measures what the repo shipped before the
+    /// epoch route-state engine; results are bit-identical either way.
+    pub fn instantiate_reference(self) -> Box<dyn Policy + Send + Sync> {
+        match self {
+            PolicyKind::BestResponse => {
+                Box::new(best_response::BestResponse::local_search().with_reference(true))
+            }
+            PolicyKind::ExactBestResponse => {
+                Box::new(best_response::BestResponse::exact().with_reference(true))
+            }
+            PolicyKind::EpsilonBestResponse { epsilon } => {
+                Box::new(epsilon::EpsilonBr::reference(epsilon))
+            }
+            other => other.instantiate(),
+        }
+    }
+
     /// Short label used in figure output.
     pub fn label(self) -> String {
         match self {

@@ -26,6 +26,7 @@ use crate::policies::bandwidth::{
 };
 use crate::policies::hybrid::HybridBr;
 use crate::policies::{Policy, PolicyKind, WiringContext};
+use crate::snapshot::{RouteState, RouteStats, SnapshotKind};
 use crate::wiring::Wiring;
 use egoist_graph::apsp::apsp;
 use egoist_graph::connectivity::strongly_connected;
@@ -53,6 +54,23 @@ pub enum Metric {
     Bandwidth,
 }
 
+/// Which route-state engine drives the wiring turns.
+///
+/// Both engines simulate the *same* process and produce byte-identical
+/// outputs for identical seeds (pinned by the golden equivalence suite);
+/// they differ only in how much work they repeat.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineMode {
+    /// The epoch route-state engine: one shared snapshot (announced
+    /// matrix + full-wiring CSR APSP) per epoch state, residual distances
+    /// derived by incremental repair. The production default.
+    #[default]
+    Epoch,
+    /// Straightforward per-turn recomputation — the reference oracle the
+    /// equivalence tests and the perf baseline compare against.
+    Recompute,
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -70,6 +88,8 @@ pub struct SimConfig {
     /// Churn trace; `None` = no churn.
     pub churn: Option<ChurnTrace>,
     pub cheat: CheatConfig,
+    /// Route-state engine (see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl SimConfig {
@@ -87,6 +107,7 @@ impl SimConfig {
             seed,
             churn: None,
             cheat: CheatConfig::honest(),
+            engine: EngineMode::default(),
         }
     }
 }
@@ -191,6 +212,8 @@ pub struct Simulator {
     churn_cursor: usize,
     /// Per-node flag: needs immediate re-wire (just churned ON).
     pending_join: Vec<bool>,
+    /// The epoch route-state engine (snapshot + incremental repair).
+    route_state: RouteState,
 }
 
 impl Simulator {
@@ -222,12 +245,16 @@ impl Simulator {
             wiring: Wiring::empty(n),
             alive: vec![true; n],
             prefs: Preferences::uniform(n),
-            policy: cfg.policy.instantiate(),
+            policy: match cfg.engine {
+                EngineMode::Epoch => cfg.policy.instantiate(),
+                EngineMode::Recompute => cfg.policy.instantiate_reference(),
+            },
             policy_rng: derive(cfg.seed, "sim-policy"),
             underlay_rng: derive(cfg.seed, "sim-underlay"),
             now: 0.0,
             churn_cursor: 0,
             pending_join: vec![false; n],
+            route_state: RouteState::new(),
             delays,
             cfg,
         }
@@ -299,12 +326,22 @@ impl Simulator {
         }
     }
 
-    /// Apply churn events up to time `t`.
+    /// Apply churn events up to time `t`, indexing into the trace in
+    /// place (the trace can be tens of thousands of events; cloning it
+    /// on every staggered turn dominated churn-heavy runs).
     fn apply_churn(&mut self, t: f64) {
-        let Some(trace) = &self.cfg.churn else { return };
-        let events = trace.events.clone();
-        while self.churn_cursor < events.len() && events[self.churn_cursor].at <= t {
-            let e = events[self.churn_cursor];
+        if self.cfg.churn.is_none() {
+            return;
+        }
+        let mut membership_changed = false;
+        loop {
+            let e = {
+                let trace = self.cfg.churn.as_ref().expect("churn checked above");
+                match trace.events.get(self.churn_cursor) {
+                    Some(e) if e.at <= t => *e,
+                    _ => break,
+                }
+            };
             self.churn_cursor += 1;
             let idx = e.node.index();
             if idx >= self.cfg.n {
@@ -313,11 +350,16 @@ impl Simulator {
             if e.up && !self.alive[idx] {
                 self.alive[idx] = true;
                 self.pending_join[idx] = true;
+                membership_changed = true;
             } else if !e.up && self.alive[idx] {
                 self.alive[idx] = false;
                 self.wiring.clear(e.node);
                 self.pending_join[idx] = false;
+                membership_changed = true;
             }
+        }
+        if membership_changed {
+            self.route_state.invalidate();
         }
         // HybridBR repairs its donated backbone aggressively on any
         // membership change (§3.3: "donated links are monitored
@@ -330,6 +372,7 @@ impl Simulator {
     fn repair_backbone(&mut self, k2: usize) {
         let alive_ids = self.alive_ids();
         let hybrid = HybridBr::new(k2);
+        let mut changed = false;
         for &i in &alive_ids {
             let donated = hybrid.donated_links(i, &alive_ids);
             let mut links: Vec<NodeId> = donated.clone();
@@ -341,7 +384,10 @@ impl Simulator {
                     links.push(w);
                 }
             }
-            self.wiring.rewire(i, links);
+            changed |= self.wiring.rewire(i, links);
+        }
+        if changed {
+            self.route_state.invalidate();
         }
     }
 
@@ -355,6 +401,23 @@ impl Simulator {
         self.loads.advance(dt, &mut self.underlay_rng);
         self.bandwidths.advance(dt, &mut self.underlay_rng);
         self.now = t;
+        self.route_state.invalidate();
+    }
+
+    /// Make sure a route-state snapshot of `kind` is live for the
+    /// current announced costs, wiring and membership.
+    fn ensure_snapshot(&mut self, kind: SnapshotKind) {
+        if self.route_state.valid(kind) {
+            return;
+        }
+        let announced = self.announced_cost_matrix();
+        let penalty = match kind {
+            SnapshotKind::Additive => disconnection_penalty(&announced),
+            SnapshotKind::Widest => 0.0,
+        };
+        let overlay = self.wiring.to_graph(&announced, &self.alive);
+        self.route_state
+            .rebuild(kind, announced, penalty, self.alive.clone(), &overlay);
     }
 
     /// Give node `i` its wiring turn. Returns whether the wiring changed.
@@ -375,49 +438,95 @@ impl Simulator {
             return self.rewire_bandwidth(i, &candidates);
         }
 
-        let announced = self.announced_cost_matrix();
-        let residual_graph = self.wiring.residual_graph(i, &announced, &self.alive);
-        let residual = apsp(&residual_graph);
         let direct = self.candidate_costs(i);
         let current = self.wiring.of(i).to_vec();
-        let penalty = disconnection_penalty(&announced);
+
+        if self.cfg.engine == EngineMode::Recompute {
+            // Reference oracle: rebuild everything from scratch.
+            let announced = self.announced_cost_matrix();
+            let residual_graph = self.wiring.residual_graph(i, &announced, &self.alive);
+            let residual = apsp(&residual_graph);
+            let penalty = disconnection_penalty(&announced);
+            let ctx = WiringContext {
+                node: i,
+                k: self.cfg.k,
+                candidates: &candidates,
+                direct: &direct,
+                residual: &residual,
+                prefs: &self.prefs,
+                alive: &self.alive,
+                penalty,
+                current: &current,
+            };
+            let new = self.policy.wire(&ctx, &mut self.policy_rng);
+            return self.wiring.rewire(i, new);
+        }
+
+        // Epoch engine: shared snapshot + incremental residual repair.
+        self.ensure_snapshot(SnapshotKind::Additive);
+        let penalty = self
+            .route_state
+            .snapshot()
+            .expect("snapshot just ensured")
+            .penalty;
+        let residual = self.route_state.residual(i.index());
         let ctx = WiringContext {
             node: i,
             k: self.cfg.k,
             candidates: &candidates,
             direct: &direct,
-            residual: &residual,
+            residual,
             prefs: &self.prefs,
             alive: &self.alive,
             penalty,
             current: &current,
         };
         let new = self.policy.wire(&ctx, &mut self.policy_rng);
-        self.wiring.rewire(i, new)
+        let changed = self.wiring.rewire(i, new);
+        if changed {
+            self.route_state
+                .note_rewire(i, &current, &self.wiring, &self.alive);
+        }
+        changed
     }
 
     /// Bandwidth-metric turn: BR uses the widest-path objective; the
     /// heuristics use their natural bandwidth analogues.
     fn rewire_bandwidth(&mut self, i: NodeId, candidates: &[NodeId]) -> bool {
-        let announced = self.announced_cost_matrix(); // probe estimates
-        let residual_graph = self.wiring.residual_graph(i, &announced, &self.alive);
         let direct = self.candidate_costs(i);
         let new = match self.cfg.policy {
             PolicyKind::BestResponse
             | PolicyKind::ExactBestResponse
             | PolicyKind::EpsilonBestResponse { .. }
             | PolicyKind::HybridBestResponse { .. } => {
-                let residual_bw = all_pairs_widest(&residual_graph);
-                let ctx = BwWiringContext {
-                    node: i,
-                    k: self.cfg.k,
-                    candidates,
-                    direct_bw: &direct,
-                    residual_bw: &residual_bw,
-                    prefs: &self.prefs,
-                    alive: &self.alive,
-                };
-                bandwidth_best_response(&ctx).0
+                if self.cfg.engine == EngineMode::Recompute {
+                    let announced = self.announced_cost_matrix(); // probe estimates
+                    let residual_graph = self.wiring.residual_graph(i, &announced, &self.alive);
+                    let residual_bw = all_pairs_widest(&residual_graph);
+                    let ctx = BwWiringContext {
+                        node: i,
+                        k: self.cfg.k,
+                        candidates,
+                        direct_bw: &direct,
+                        residual_bw: &residual_bw,
+                        prefs: &self.prefs,
+                        alive: &self.alive,
+                    };
+                    bandwidth_best_response(&ctx).0
+                } else {
+                    self.ensure_snapshot(SnapshotKind::Widest);
+                    let residual_bw = self.route_state.residual(i.index());
+                    let ctx = BwWiringContext {
+                        node: i,
+                        k: self.cfg.k,
+                        candidates,
+                        direct_bw: &direct,
+                        residual_bw,
+                        prefs: &self.prefs,
+                        alive: &self.alive,
+                    };
+                    bandwidth_best_response(&ctx).0
+                }
             }
             PolicyKind::Closest => {
                 // k-Closest under bandwidth = maximum direct bandwidth.
@@ -454,7 +563,13 @@ impl Simulator {
                     .wire(&ctx, &mut self.policy_rng)
             }
         };
-        self.wiring.rewire(i, new)
+        let current = self.wiring.of(i).to_vec();
+        let changed = self.wiring.rewire(i, new);
+        if changed {
+            self.route_state
+                .note_rewire(i, &current, &self.wiring, &self.alive);
+        }
+        changed
     }
 
     /// Enforce the §3.2 connectivity cycle for k-Random / k-Closest: when
@@ -474,6 +589,7 @@ impl Simulator {
         if strongly_connected(&g, &alive_ids) {
             return;
         }
+        let mut changed = false;
         for (a, b) in ring_edges(&alive_ids) {
             let mut links = self.wiring.of(a).to_vec();
             if links.contains(&b) {
@@ -483,7 +599,10 @@ impl Simulator {
                 links.pop();
             }
             links.push(b);
-            self.wiring.rewire(a, links);
+            changed |= self.wiring.rewire(a, links);
+        }
+        if changed {
+            self.route_state.invalidate();
         }
     }
 
@@ -574,9 +693,16 @@ impl Simulator {
         for turn in 0..n {
             let t = epoch as f64 * t_epoch + (turn as f64 / n as f64) * t_epoch;
             self.apply_churn(t);
-            self.advance_underlay(t);
-            // Vivaldi gossips continuously; one spread-out round/epoch.
             if turn == 0 {
+                // The underlay drifts continuously but the simulator
+                // samples it at epoch granularity: one exact OU
+                // transition per epoch (the same schedule the full-mesh
+                // reference always used). Announced costs are therefore
+                // constant between epoch boundaries — the invariant the
+                // epoch route-state engine's snapshot reuse rests on.
+                self.advance_underlay(t);
+                // Vivaldi gossips continuously; one spread-out
+                // round/epoch.
                 if let Some(cs) = self.vivaldi.as_mut() {
                     let delays = &self.delays;
                     cs.gossip_round(|a, b| delays.delay(a, b));
@@ -645,8 +771,10 @@ impl Simulator {
     }
 
     /// Mutable node-load underlay — the traffic engine charges forwarding
-    /// load here.
+    /// load here. External mutation changes announced costs, so the
+    /// route-state snapshot is dropped.
     pub fn loads_mut(&mut self) -> &mut LoadModel {
+        self.route_state.invalidate();
         &mut self.loads
     }
 
@@ -656,8 +784,10 @@ impl Simulator {
     }
 
     /// Mutable bandwidth underlay — the traffic engine charges carried
-    /// traffic here.
+    /// traffic here. External mutation changes announced costs, so the
+    /// route-state snapshot is dropped.
     pub fn bandwidths_mut(&mut self) -> &mut BandwidthModel {
+        self.route_state.invalidate();
         &mut self.bandwidths
     }
 
@@ -675,6 +805,12 @@ impl Simulator {
     /// Snapshot of the true edge-cost matrix for the active metric.
     pub fn true_matrix(&self) -> DistanceMatrix {
         self.true_cost_matrix()
+    }
+
+    /// Work counters of the epoch route-state engine (all zero in
+    /// [`EngineMode::Recompute`]).
+    pub fn route_stats(&self) -> RouteStats {
+        self.route_state.stats
     }
 }
 
@@ -725,6 +861,7 @@ mod tests {
             seed: 11,
             churn: None,
             cheat: CheatConfig::honest(),
+            engine: EngineMode::default(),
         }
     }
 

@@ -1,0 +1,567 @@
+//! The epoch route-state engine: shared snapshots and incremental
+//! residual repair.
+//!
+//! §3.1's newcomer procedure — "run an all-pairs shortest path algorithm
+//! on `G−i`" — is what made best-response dynamics quadratic-in-`n` per
+//! epoch: every staggered turn rebuilt the announced cost matrix and ran
+//! a from-scratch APSP over the residual overlay. But within one epoch
+//! the underlay is sampled once, so the announced matrix is constant, and
+//! consecutive turns differ only by single-node wiring deltas. This
+//! module exploits both facts:
+//!
+//! * [`EpochSnapshot`] — announced matrix, disconnection penalty, alive
+//!   set, the full-wiring CSR graph and its all-pairs result (with
+//!   shortest-path-tree parents), built once and invalidated only when
+//!   the underlay advances, membership churns, or an external actor
+//!   (traffic feedback) mutates the underlay models.
+//! * **Residual repair** — the turn node `i`'s `G−i` distances are
+//!   derived from the snapshot: a source `s` re-runs its (masked) sweep
+//!   only when its shortest-path tree actually routes through one of
+//!   `i`'s out-edges; every other row is copied verbatim. Copying is
+//!   exact: a tree that avoids `i`'s out-links survives their removal,
+//!   and removal can only lengthen paths, so the minimum is unchanged —
+//!   bit-for-bit, since equal path minima are equal `f64`s.
+//! * **Rewiring repair** — when node `i` commits a new wiring, sources
+//!   whose tree used a *removed* edge `(i, w)` are re-swept in full;
+//!   everyone else absorbs the *added* edges through a decrease-only
+//!   (additive) or increase-only (widest) repair seeded at the new edge
+//!   heads. `d(s, i)` itself never changes across `i`'s re-wiring (a
+//!   simple path to `i` uses none of `i`'s out-edges), which is what
+//!   makes the seeds valid.
+//!
+//! The all-pairs rebuild fans sources out over `std::thread::scope`
+//! threads in `egoist_graph::csr`, each writing disjoint row slices, so
+//! results are byte-deterministic under any scheduling.
+
+use crate::wiring::Wiring;
+use egoist_graph::csr::{tree_descendants, NO_PARENT};
+use egoist_graph::{CsrApsp, CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId};
+
+/// Which path semiring the snapshot's all-pairs state uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// Min-plus shortest paths (delay / load metrics).
+    Additive,
+    /// Max-min widest paths (the bandwidth metric).
+    Widest,
+}
+
+/// Everything a wiring turn reads, computed once per epoch state.
+pub struct EpochSnapshot {
+    pub kind: SnapshotKind,
+    /// Announced edge-cost matrix (constant between underlay advances).
+    pub announced: DistanceMatrix,
+    /// Disconnection penalty `M` derived from `announced`.
+    pub penalty: f64,
+    /// Membership at snapshot time.
+    pub alive: Vec<bool>,
+    /// Full-wiring overlay in CSR form (alive edges, announced costs).
+    pub csr: CsrGraph,
+    /// `csr` reversed — in-edge access for the removal repairs.
+    pub rev: CsrGraph,
+    /// All-pairs distances/widths and shortest-path-tree parents over
+    /// `csr`, kept exact across incremental re-wiring repairs.
+    pub apsp: CsrApsp,
+}
+
+/// Work counters — how much of the engine's traffic the incremental
+/// paths absorbed (asserted by tests, reported by the perf bench).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouteStats {
+    /// Full snapshot rebuilds (underlay advances, churn, feedback).
+    pub rebuilds: usize,
+    /// Residual rows recomputed because the source routed through the
+    /// turn node.
+    pub residual_swept: usize,
+    /// Residual rows copied verbatim from the snapshot.
+    pub residual_copied: usize,
+    /// Post-rewiring rows re-swept in full (a tree edge was removed).
+    pub rewire_swept: usize,
+    /// Post-rewiring rows absorbed by decrease/increase repair.
+    pub rewire_repaired: usize,
+}
+
+/// The engine: an optional live snapshot plus reusable scratch arenas.
+pub struct RouteState {
+    snap: Option<EpochSnapshot>,
+    ws: DijkstraWorkspace,
+    /// Scratch residual matrix handed to the policy layer each turn —
+    /// retained (with `residual_parent`) so a committed re-wiring can
+    /// swap it in as the new all-pairs state instead of re-sweeping.
+    residual: DistanceMatrix,
+    /// Parents matching `residual`, row-major.
+    residual_parent: Vec<u32>,
+    /// Which node the retained residual was computed for.
+    residual_for: Option<usize>,
+    /// Child-bucket scratch for subtree collection.
+    child_head: Vec<u32>,
+    child_next: Vec<u32>,
+    affected: Vec<u32>,
+    pub stats: RouteStats,
+}
+
+impl RouteState {
+    /// An empty engine (no snapshot yet).
+    pub fn new() -> Self {
+        RouteState {
+            snap: None,
+            ws: DijkstraWorkspace::new(0),
+            residual: DistanceMatrix::filled(0, f64::INFINITY),
+            residual_parent: Vec::new(),
+            residual_for: None,
+            child_head: Vec::new(),
+            child_next: Vec::new(),
+            affected: Vec::new(),
+            stats: RouteStats::default(),
+        }
+    }
+
+    /// Drop the snapshot; the next turn rebuilds from scratch.
+    pub fn invalidate(&mut self) {
+        self.snap = None;
+        self.residual_for = None;
+    }
+
+    /// Is a snapshot of this kind live?
+    pub fn valid(&self, kind: SnapshotKind) -> bool {
+        self.snap.as_ref().is_some_and(|s| s.kind == kind)
+    }
+
+    /// The live snapshot, if any.
+    pub fn snapshot(&self) -> Option<&EpochSnapshot> {
+        self.snap.as_ref()
+    }
+
+    /// Install a fresh snapshot for `overlay` (the full current wiring
+    /// on announced costs).
+    pub fn rebuild(
+        &mut self,
+        kind: SnapshotKind,
+        announced: DistanceMatrix,
+        penalty: f64,
+        alive: Vec<bool>,
+        overlay: &DiGraph,
+    ) {
+        let csr = CsrGraph::from_digraph(overlay);
+        let rev = csr.reversed();
+        let apsp = match kind {
+            SnapshotKind::Additive => egoist_graph::csr::apsp_csr(&csr),
+            SnapshotKind::Widest => egoist_graph::csr::widest_csr(&csr),
+        };
+        self.stats.rebuilds += 1;
+        self.residual_for = None;
+        self.snap = Some(EpochSnapshot {
+            kind,
+            announced,
+            penalty,
+            alive,
+            csr,
+            rev,
+            apsp,
+        });
+    }
+
+    /// The dense residual matrix for the turn node `i` — pairwise
+    /// distances (or widths) over `G−i`, bit-identical to a from-scratch
+    /// all-pairs run on the residual graph.
+    ///
+    /// Affected rows (sources whose shortest-path tree routes through
+    /// `i`) are repaired in place on `i`'s tree descendants only; all
+    /// other rows are verbatim copies. The result is retained together
+    /// with its parents so [`Self::note_rewire`] can adopt it wholesale.
+    ///
+    /// # Panics
+    /// Panics when no snapshot is live; callers must `rebuild` first.
+    pub fn residual(&mut self, i: usize) -> &DistanceMatrix {
+        let snap = self.snap.as_ref().expect("route snapshot must be live");
+        let n = snap.apsp.n;
+        if self.residual.len() != n {
+            self.residual = DistanceMatrix::filled(n, f64::INFINITY);
+        }
+        self.residual_parent.resize(n * n, NO_PARENT);
+        let iu = i as u32;
+        for s in 0..n {
+            let row = self.residual.row_mut(s);
+            let prow = &mut self.residual_parent[s * n..(s + 1) * n];
+            if s == i {
+                // Source `i` keeps no out-links in `G−i`.
+                match snap.kind {
+                    SnapshotKind::Additive => {
+                        row.fill(f64::INFINITY);
+                        row[i] = 0.0;
+                    }
+                    SnapshotKind::Widest => {
+                        row.fill(0.0);
+                        row[i] = f64::INFINITY;
+                    }
+                }
+                prow.fill(NO_PARENT);
+                continue;
+            }
+            row.copy_from_slice(snap.apsp.dist_row(s));
+            prow.copy_from_slice(snap.apsp.parent_row(s));
+            if snap.apsp.routes_through(s, iu) {
+                tree_descendants(
+                    prow,
+                    iu,
+                    &mut self.child_head,
+                    &mut self.child_next,
+                    &mut self.affected,
+                );
+                match snap.kind {
+                    SnapshotKind::Additive => {
+                        self.ws
+                            .repair_removal(&snap.csr, &snap.rev, iu, &self.affected, row, prow)
+                    }
+                    SnapshotKind::Widest => self.ws.repair_removal_widest(
+                        &snap.csr,
+                        &snap.rev,
+                        iu,
+                        &self.affected,
+                        row,
+                        prow,
+                    ),
+                }
+                self.stats.residual_swept += 1;
+            } else {
+                self.stats.residual_copied += 1;
+            }
+        }
+        self.residual_for = Some(i);
+        &self.residual
+    }
+
+    /// Absorb node `i`'s committed re-wiring into the live snapshot, if
+    /// any.
+    ///
+    /// The fast path reuses the residual state [`Self::residual`] just
+    /// computed for this very turn: the retained `G−i` matrices *are*
+    /// the post-removal distances, so they are swapped in as the new
+    /// all-pairs state and only the inserted out-links of `i` are
+    /// propagated (decrease-only / increase-only repair per source).
+    pub fn note_rewire(&mut self, i: NodeId, old: &[NodeId], wiring: &Wiring, alive: &[bool]) {
+        let Some(snap) = self.snap.as_mut() else {
+            return;
+        };
+        let new = wiring.of(i);
+        let changed = {
+            let mut o: Vec<NodeId> = old.iter().copied().filter(|w| alive[w.index()]).collect();
+            o.sort_unstable();
+            let mut m: Vec<NodeId> = new.iter().copied().filter(|w| alive[w.index()]).collect();
+            m.sort_unstable();
+            o != m
+        };
+        if !changed {
+            return;
+        }
+        // Refresh the CSR topology straight from the wiring (cheap; the
+        // distances are the cost).
+        let announced = &snap.announced;
+        snap.csr = CsrGraph::from_fn(wiring.len(), |u| {
+            let vi = NodeId::from_index(u);
+            let live = alive[u];
+            wiring
+                .of(vi)
+                .iter()
+                .filter(move |w| live && alive[w.index()])
+                .map(move |w| (w.0, announced.get(vi, *w)))
+        });
+        snap.rev = snap.csr.reversed();
+        let n = snap.apsp.n;
+        let iu = i.0;
+        let new_edges: Vec<(u32, f64)> = new
+            .iter()
+            .filter(|w| alive[w.index()])
+            .map(|w| (w.0, snap.announced.get(i, *w)))
+            .collect();
+
+        if self.residual_for == Some(i.index()) {
+            // Adopt the retained `G−i` state, then insert `i`'s new
+            // out-links everywhere.
+            self.residual.swap_raw(&mut snap.apsp.dist);
+            std::mem::swap(&mut snap.apsp.parent, &mut self.residual_parent);
+            self.residual_for = None;
+            for s in 0..n {
+                let lo = s * n;
+                let dist = &mut snap.apsp.dist[lo..lo + n];
+                let parent = &mut snap.apsp.parent[lo..lo + n];
+                insert_edges(
+                    &mut self.ws,
+                    snap.kind,
+                    &snap.csr,
+                    &new_edges,
+                    i.index(),
+                    dist,
+                    parent,
+                );
+                self.stats.rewire_repaired += 1;
+            }
+            return;
+        }
+
+        // Fallback (no retained residual for `i`): re-sweep sources that
+        // routed through `i`, insert the new links everywhere else.
+        let old_alive: Vec<NodeId> = old.iter().copied().filter(|w| alive[w.index()]).collect();
+        for s in 0..n {
+            let lo = s * n;
+            let dist = &mut snap.apsp.dist[lo..lo + n];
+            let parent = &mut snap.apsp.parent[lo..lo + n];
+            let tree_lost = old_alive.iter().any(|w| parent[w.index()] == iu);
+            if tree_lost || s == i.index() {
+                match snap.kind {
+                    SnapshotKind::Additive => {
+                        self.ws.sssp_into(&snap.csr, s as u32, None, dist, parent)
+                    }
+                    SnapshotKind::Widest => {
+                        self.ws.widest_into(&snap.csr, s as u32, None, dist, parent)
+                    }
+                }
+                self.stats.rewire_swept += 1;
+                continue;
+            }
+            insert_edges(
+                &mut self.ws,
+                snap.kind,
+                &snap.csr,
+                &new_edges,
+                i.index(),
+                dist,
+                parent,
+            );
+            self.stats.rewire_repaired += 1;
+        }
+    }
+}
+
+/// Propagate node `i`'s inserted out-edges into one source row by
+/// decrease-only (additive) / increase-only (widest) repair.
+///
+/// `d(s, i)` is invariant under changes to `i`'s out-links (a simple
+/// path to `i` uses none of them), so the row's current value seeds the
+/// insertion exactly; `d(i, i)` is 0 / ∞-width for `i` itself.
+fn insert_edges(
+    ws: &mut DijkstraWorkspace,
+    kind: SnapshotKind,
+    csr: &CsrGraph,
+    new_edges: &[(u32, f64)],
+    i: usize,
+    dist: &mut [f64],
+    parent: &mut [u32],
+) {
+    let iu = i as u32;
+    let via = dist[i];
+    match kind {
+        SnapshotKind::Additive => {
+            if via.is_finite() {
+                let seeds: Vec<(u32, f64, u32)> =
+                    new_edges.iter().map(|&(w, c)| (w, via + c, iu)).collect();
+                ws.repair_decrease(csr, &seeds, dist, parent);
+            }
+        }
+        SnapshotKind::Widest => {
+            if via > 0.0 {
+                let seeds: Vec<(u32, f64, u32)> = new_edges
+                    .iter()
+                    .map(|&(w, c)| (w, via.min(c), iu))
+                    .collect();
+                ws.repair_increase_widest(csr, &seeds, dist, parent);
+            }
+        }
+    }
+}
+
+impl Default for RouteState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::disconnection_penalty;
+    use egoist_graph::apsp::apsp;
+    use egoist_graph::csr::apsp_csr;
+    use egoist_netsim::delay::{DelayConfig, DelayModel};
+    use egoist_netsim::{PlanetLabSpec, Region};
+
+    fn setup(n: usize, k: usize, seed: u64) -> (DistanceMatrix, Wiring, Vec<bool>) {
+        let d = DelayModel::from_spec(
+            &PlanetLabSpec::uniform(Region::NorthAmerica, n),
+            &DelayConfig::default(),
+            seed,
+        )
+        .base()
+        .clone();
+        let mut w = Wiring::empty(n);
+        for i in 0..n {
+            let mut neigh = Vec::new();
+            for o in 1..=k {
+                neigh.push(NodeId::from_index((i + o * 3 + seed as usize) % n));
+            }
+            neigh.retain(|x| x.index() != i);
+            w.rewire(NodeId::from_index(i), neigh);
+        }
+        (d, w, vec![true; n])
+    }
+
+    fn fresh_state(
+        kind: SnapshotKind,
+        d: &DistanceMatrix,
+        w: &Wiring,
+        alive: &[bool],
+    ) -> RouteState {
+        let mut rs = RouteState::new();
+        rs.rebuild(
+            kind,
+            d.clone(),
+            disconnection_penalty(d),
+            alive.to_vec(),
+            &w.to_graph(d, alive),
+        );
+        rs
+    }
+
+    #[test]
+    fn residual_matches_from_scratch_apsp() {
+        let (d, w, alive) = setup(24, 3, 1);
+        let mut rs = fresh_state(SnapshotKind::Additive, &d, &w, &alive);
+        for i in [0usize, 7, 23] {
+            let oracle = apsp(&w.residual_graph(NodeId::from_index(i), &d, &alive));
+            let got = rs.residual(i);
+            for s in 0..24 {
+                for t in 0..24 {
+                    assert_eq!(
+                        oracle.at(s, t).to_bits(),
+                        got.at(s, t).to_bits(),
+                        "residual({i}) mismatch at ({s},{t})"
+                    );
+                }
+            }
+        }
+        assert!(rs.stats.residual_copied > 0, "some rows must be copied");
+    }
+
+    #[test]
+    fn residual_widest_matches_all_pairs_widest() {
+        let (d, w, alive) = setup(20, 3, 2);
+        let mut rs = fresh_state(SnapshotKind::Widest, &d, &w, &alive);
+        for i in [0usize, 9, 19] {
+            let oracle = crate::policies::bandwidth::all_pairs_widest(&w.residual_graph(
+                NodeId::from_index(i),
+                &d,
+                &alive,
+            ));
+            let got = rs.residual(i);
+            for s in 0..20 {
+                for t in 0..20 {
+                    assert_eq!(
+                        oracle.at(s, t).to_bits(),
+                        got.at(s, t).to_bits(),
+                        "widest residual({i}) mismatch at ({s},{t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn note_rewire_keeps_apsp_exact() {
+        let (d, mut w, alive) = setup(26, 3, 3);
+        let mut rs = fresh_state(SnapshotKind::Additive, &d, &w, &alive);
+        // A chain of re-wirings: replace, shrink, grow.
+        let moves: Vec<(usize, Vec<usize>)> = vec![
+            (4, vec![1, 9, 17]),
+            (4, vec![1]),
+            (11, vec![4, 5, 6, 7]),
+            (0, vec![25]),
+        ];
+        for (node, links) in moves {
+            let i = NodeId::from_index(node);
+            let old = w.of(i).to_vec();
+            w.rewire(i, links.into_iter().map(NodeId::from_index).collect());
+            rs.note_rewire(i, &old, &w, &alive);
+            let truth = apsp_csr(&CsrGraph::from_digraph(&w.to_graph(&d, &alive)));
+            let snap = rs.snapshot().unwrap();
+            for p in 0..26 * 26 {
+                assert_eq!(
+                    truth.dist[p].to_bits(),
+                    snap.apsp.dist[p].to_bits(),
+                    "post-rewire dist drift at {p}"
+                );
+            }
+        }
+        assert!(rs.stats.rewire_repaired > 0);
+    }
+
+    #[test]
+    fn note_rewire_keeps_widest_exact() {
+        let (d, mut w, alive) = setup(22, 3, 4);
+        let mut rs = fresh_state(SnapshotKind::Widest, &d, &w, &alive);
+        for (node, links) in [(2usize, vec![8usize, 14]), (8, vec![2, 3, 4]), (2, vec![9])] {
+            let i = NodeId::from_index(node);
+            let old = w.of(i).to_vec();
+            w.rewire(i, links.into_iter().map(NodeId::from_index).collect());
+            rs.note_rewire(i, &old, &w, &alive);
+            let truth =
+                egoist_graph::csr::widest_csr(&CsrGraph::from_digraph(&w.to_graph(&d, &alive)));
+            let snap = rs.snapshot().unwrap();
+            for p in 0..22 * 22 {
+                assert_eq!(
+                    truth.dist[p].to_bits(),
+                    snap.apsp.dist[p].to_bits(),
+                    "post-rewire width drift at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_after_rewire_still_matches_oracle() {
+        let (d, mut w, alive) = setup(18, 3, 5);
+        let mut rs = fresh_state(SnapshotKind::Additive, &d, &w, &alive);
+        let i = NodeId(6);
+        let old = w.of(i).to_vec();
+        w.rewire(i, vec![NodeId(1), NodeId(2)]);
+        rs.note_rewire(i, &old, &w, &alive);
+        for probe in [0usize, 6, 17] {
+            let oracle = apsp(&w.residual_graph(NodeId::from_index(probe), &d, &alive));
+            let got = rs.residual(probe);
+            for s in 0..18 {
+                for t in 0..18 {
+                    assert_eq!(oracle.at(s, t).to_bits(), got.at(s, t).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_snapshot() {
+        let (d, w, alive) = setup(10, 2, 6);
+        let mut rs = fresh_state(SnapshotKind::Additive, &d, &w, &alive);
+        assert!(rs.valid(SnapshotKind::Additive));
+        assert!(!rs.valid(SnapshotKind::Widest));
+        rs.invalidate();
+        assert!(!rs.valid(SnapshotKind::Additive));
+        assert!(rs.snapshot().is_none());
+    }
+
+    #[test]
+    fn dead_targets_ignored_in_rewire_delta() {
+        let (d, mut w, mut alive) = setup(12, 2, 7);
+        alive[5] = false;
+        // Rebuild over the reduced membership.
+        let mut rs = fresh_state(SnapshotKind::Additive, &d, &w, &alive);
+        let i = NodeId(3);
+        let old = w.of(i).to_vec();
+        // New wiring includes the dead node 5 — the alive filter must
+        // keep it out of the delta and the graph alike.
+        w.rewire(i, vec![NodeId(5), NodeId(7)]);
+        rs.note_rewire(i, &old, &w, &alive);
+        let truth = apsp_csr(&CsrGraph::from_digraph(&w.to_graph(&d, &alive)));
+        let snap = rs.snapshot().unwrap();
+        for p in 0..12 * 12 {
+            assert_eq!(truth.dist[p].to_bits(), snap.apsp.dist[p].to_bits());
+        }
+    }
+}

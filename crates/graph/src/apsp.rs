@@ -57,11 +57,11 @@ pub fn floyd_warshall(g: &DiGraph) -> DistanceMatrix {
 }
 
 /// Shortest-path distances from every node *to* a fixed target, computed as
-/// one Dijkstra on the reversed graph. Used by the topology-biased sampling
-/// ranking, which needs distances toward candidate neighborhoods.
+/// one workspace sweep on the reversed CSR graph. Used by the
+/// topology-biased sampling ranking, which needs distances toward candidate
+/// neighborhoods.
 pub fn distances_to(g: &DiGraph, target: NodeId) -> Vec<f64> {
-    let rev = g.reversed();
-    dijkstra(&rev, target).dist
+    crate::csr::distances_to_csr(&crate::csr::CsrGraph::from_digraph(g), target.0)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1201 @@
+//! Compressed-sparse-row graph form and allocation-free shortest paths.
+//!
+//! The epoch simulator runs tens of thousands of SSSP sweeps per
+//! simulation: one all-pairs pass per route-state snapshot plus targeted
+//! repairs every re-wiring turn. [`DiGraph`]'s nested `Vec<Vec<Edge>>`
+//! costs a pointer chase per adjacency list and the textbook
+//! [`crate::dijkstra::dijkstra`] allocates four fresh vectors per call.
+//! This module provides the hot-path counterparts:
+//!
+//! * [`CsrGraph`] — the same directed weighted graph flattened into
+//!   `offsets / targets / costs` arrays, built once per snapshot;
+//! * [`DijkstraWorkspace`] — reusable dist/parent/heap arenas so SSSP and
+//!   widest-path sweeps are allocation-free after warmup;
+//! * [`apsp_csr`] / [`widest_csr`] — all-pairs passes that fan sources out
+//!   over `std::thread::scope` threads, each writing into pre-partitioned
+//!   row slices (byte-deterministic regardless of scheduling);
+//! * decrease-only repair ([`DijkstraWorkspace::repair_decrease`] /
+//!   [`DijkstraWorkspace::repair_increase_widest`]) — the edge-insertion
+//!   half of the incremental route-state maintenance;
+//! * [`path_from_parents`] / [`successive_disjoint_paths`] — CSR ports
+//!   of the path-extraction helpers the data plane uses.
+//!
+//! Every algorithm here produces bit-identical distances to its
+//! `DiGraph` counterpart: distances are minima of per-path rounded sums,
+//! which do not depend on visit order, and ties are settled by node id.
+
+use crate::graph::DiGraph;
+use crate::types::{Cost, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no parent" in packed parent arrays.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A directed weighted graph in compressed-sparse-row form.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    costs: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Flatten a [`DiGraph`], preserving per-node edge order.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.edge_count());
+        let mut costs = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for i in 0..n {
+            for e in g.out_edges(NodeId::from_index(i)) {
+                targets.push(e.to.0);
+                costs.push(e.cost);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            costs,
+        }
+    }
+
+    /// Build from a per-node edge closure: `edges(i)` yields `(to, cost)`
+    /// pairs in adjacency order. Avoids materializing a `DiGraph` first.
+    pub fn from_fn<I>(n: usize, mut edges: impl FnMut(usize) -> I) -> Self
+    where
+        I: IntoIterator<Item = (u32, f64)>,
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut costs = Vec::new();
+        offsets.push(0);
+        for i in 0..n {
+            for (to, cost) in edges(i) {
+                debug_assert_ne!(to as usize, i, "self loop in CSR build");
+                targets.push(to);
+                costs.push(cost);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            costs,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-edges of `u` as parallel `(targets, costs)` slices.
+    #[inline]
+    pub fn out(&self, u: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        (&self.targets[lo..hi], &self.costs[lo..hi])
+    }
+
+    /// The graph with every edge reversed (for "distances to a target"
+    /// queries). Reversal is stable: in-edges appear ordered by source.
+    pub fn reversed(&self) -> CsrGraph {
+        let n = self.len();
+        let mut degree = vec![0u32; n + 1];
+        for &t in &self.targets {
+            degree[t as usize + 1] += 1;
+        }
+        let mut offsets = degree;
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; self.targets.len()];
+        let mut costs = vec![0.0; self.costs.len()];
+        for u in 0..n {
+            let (ts, cs) = self.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                let slot = cursor[t as usize] as usize;
+                targets[slot] = u as u32;
+                costs[slot] = c;
+                cursor[t as usize] += 1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            costs,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    key: Cost,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on key, ties by node id — identical settle order to
+        // `crate::dijkstra` (keys are never NaN).
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Max-heap twin for widest-path sweeps.
+#[derive(PartialEq)]
+struct MaxHeapEntry {
+    key: Cost,
+    node: u32,
+}
+
+impl Eq for MaxHeapEntry {}
+
+impl Ord for MaxHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for MaxHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable arenas for repeated SSSP sweeps: distance and parent arrays
+/// live in external row slices, the heap and settled bitmap are reused
+/// between calls, so a warmed-up workspace allocates nothing.
+#[derive(Default)]
+pub struct DijkstraWorkspace {
+    settled: Vec<bool>,
+    /// Marker for the affected set during removal repairs; cleared
+    /// before returning.
+    flag: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    max_heap: BinaryHeap<MaxHeapEntry>,
+}
+
+impl DijkstraWorkspace {
+    /// A workspace pre-sized for `n`-node graphs.
+    pub fn new(n: usize) -> Self {
+        DijkstraWorkspace {
+            settled: vec![false; n],
+            flag: vec![false; n],
+            heap: BinaryHeap::with_capacity(n),
+            max_heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+        self.max_heap.clear();
+    }
+
+    /// Dijkstra from `source` into caller-provided row slices.
+    ///
+    /// `mask`: when `Some(v)`, node `v`'s out-edges are skipped — the
+    /// residual-graph (`G−i`) sweep without materializing a second graph.
+    pub fn sssp_into(
+        &mut self,
+        g: &CsrGraph,
+        source: u32,
+        mask: Option<u32>,
+        dist: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        self.sssp_impl(g, source, mask, None, dist, parent)
+    }
+
+    /// The one Dijkstra loop behind [`Self::sssp_into`] and the
+    /// disabled-edge variant — a single implementation so relaxation and
+    /// tie-break behavior (which the engine's bit-exactness rests on)
+    /// cannot diverge between them. `disabled`, when present, is
+    /// parallel to the CSR cost array and flags edges to skip.
+    fn sssp_impl(
+        &mut self,
+        g: &CsrGraph,
+        source: u32,
+        mask: Option<u32>,
+        disabled: Option<&[bool]>,
+        dist: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        let n = g.len();
+        debug_assert_eq!(dist.len(), n);
+        debug_assert_eq!(parent.len(), n);
+        self.reset(n);
+        dist.fill(f64::INFINITY);
+        parent.fill(NO_PARENT);
+        dist[source as usize] = 0.0;
+        self.heap.push(HeapEntry {
+            key: 0.0,
+            node: source,
+        });
+        while let Some(HeapEntry { key, node }) = self.heap.pop() {
+            let u = node as usize;
+            if self.settled[u] {
+                continue;
+            }
+            self.settled[u] = true;
+            if mask == Some(node) {
+                continue;
+            }
+            let (ts, cs) = g.out(u);
+            let lo = g.offsets[u] as usize;
+            for (off, (&t, &c)) in ts.iter().zip(cs).enumerate() {
+                debug_assert!(c >= 0.0 && !c.is_nan());
+                if !c.is_finite() || disabled.is_some_and(|d| d[lo + off]) {
+                    continue;
+                }
+                let v = t as usize;
+                let nd = key + c;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = node;
+                    self.heap.push(HeapEntry { key: nd, node: t });
+                }
+            }
+        }
+    }
+
+    /// Widest (max-bottleneck) paths from `source` into row slices.
+    /// Unreachable width is 0; the source itself gets `INFINITY`.
+    pub fn widest_into(
+        &mut self,
+        g: &CsrGraph,
+        source: u32,
+        mask: Option<u32>,
+        width: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        let n = g.len();
+        debug_assert_eq!(width.len(), n);
+        debug_assert_eq!(parent.len(), n);
+        self.reset(n);
+        width.fill(0.0);
+        parent.fill(NO_PARENT);
+        width[source as usize] = f64::INFINITY;
+        self.max_heap.push(MaxHeapEntry {
+            key: f64::INFINITY,
+            node: source,
+        });
+        while let Some(MaxHeapEntry { key, node }) = self.max_heap.pop() {
+            let u = node as usize;
+            if self.settled[u] {
+                continue;
+            }
+            self.settled[u] = true;
+            if mask == Some(node) {
+                continue;
+            }
+            let (ts, cs) = g.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                debug_assert!(c >= 0.0 && !c.is_nan());
+                let v = t as usize;
+                let nw = key.min(c);
+                if nw > width[v] {
+                    width[v] = nw;
+                    parent[v] = node;
+                    self.max_heap.push(MaxHeapEntry { key: nw, node: t });
+                }
+            }
+        }
+    }
+
+    /// Decrease-only SSSP repair after edge insertions.
+    ///
+    /// `dist`/`parent` must hold exact shortest paths of the graph
+    /// *before* the inserted edges; `seeds` carries one `(node,
+    /// candidate_dist, parent)` triple per inserted edge head. Only the
+    /// region whose distance actually shrinks is re-explored, and the
+    /// repaired rows are bit-identical to a from-scratch sweep.
+    pub fn repair_decrease(
+        &mut self,
+        g: &CsrGraph,
+        seeds: &[(u32, f64, u32)],
+        dist: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        self.heap.clear();
+        for &(node, cand, par) in seeds {
+            let v = node as usize;
+            if cand < dist[v] {
+                dist[v] = cand;
+                parent[v] = par;
+                self.heap.push(HeapEntry { key: cand, node });
+            }
+        }
+        while let Some(HeapEntry { key, node }) = self.heap.pop() {
+            let u = node as usize;
+            if key > dist[u] {
+                continue; // stale entry
+            }
+            let (ts, cs) = g.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                if !c.is_finite() {
+                    continue;
+                }
+                let v = t as usize;
+                let nd = key + c;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = node;
+                    self.heap.push(HeapEntry { key: nd, node: t });
+                }
+            }
+        }
+    }
+
+    /// Exact SSSP repair after removing node `mask`'s out-edges, given
+    /// the affected set.
+    ///
+    /// `dist`/`parent` must hold exact shortest paths of the graph
+    /// *with* `mask`'s out-edges, and `affected` must contain every
+    /// vertex whose shortest-path-tree path routes through `mask` (its
+    /// tree descendants). Every other vertex keeps its distance —
+    /// removal only lengthens paths and its tree path survives — so the
+    /// repair resets only the affected region and re-seeds it from
+    /// frontier in-edges (`rev` is `g` reversed). Any path into the
+    /// affected set enters it through such an edge, and path sums
+    /// accumulate left-to-right exactly as a full masked sweep would, so
+    /// repaired rows are bit-identical to [`Self::sssp_into`] with the
+    /// same mask.
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_removal(
+        &mut self,
+        g: &CsrGraph,
+        rev: &CsrGraph,
+        mask: u32,
+        affected: &[u32],
+        dist: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        let n = g.len();
+        self.flag.resize(n, false);
+        self.heap.clear();
+        for &v in affected {
+            self.flag[v as usize] = true;
+            dist[v as usize] = f64::INFINITY;
+            parent[v as usize] = NO_PARENT;
+        }
+        // Seed each affected vertex with its best frontier in-edge.
+        for &v in affected {
+            let (us, cs) = rev.out(v as usize);
+            let mut best = f64::INFINITY;
+            let mut best_par = NO_PARENT;
+            for (&u, &c) in us.iter().zip(cs) {
+                if u == mask || self.flag[u as usize] || !c.is_finite() {
+                    continue;
+                }
+                let du = dist[u as usize];
+                if !du.is_finite() {
+                    continue;
+                }
+                let nd = du + c;
+                if nd < best {
+                    best = nd;
+                    best_par = u;
+                }
+            }
+            if best < dist[v as usize] {
+                dist[v as usize] = best;
+                parent[v as usize] = best_par;
+                self.heap.push(HeapEntry { key: best, node: v });
+            }
+        }
+        // Propagate inside the affected region (only it can improve).
+        while let Some(HeapEntry { key, node }) = self.heap.pop() {
+            let u = node as usize;
+            if key > dist[u] {
+                continue;
+            }
+            let (ts, cs) = g.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                if !c.is_finite() {
+                    continue;
+                }
+                let v = t as usize;
+                let nd = key + c;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = node;
+                    self.heap.push(HeapEntry { key: nd, node: t });
+                }
+            }
+        }
+        for &v in affected {
+            self.flag[v as usize] = false;
+        }
+    }
+
+    /// Widest-path mirror of [`Self::repair_removal`]: affected widths
+    /// reset to 0 and regrow from frontier in-edges (`min(width(u), c)`)
+    /// with max-min propagation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_removal_widest(
+        &mut self,
+        g: &CsrGraph,
+        rev: &CsrGraph,
+        mask: u32,
+        affected: &[u32],
+        width: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        let n = g.len();
+        self.flag.resize(n, false);
+        self.max_heap.clear();
+        for &v in affected {
+            self.flag[v as usize] = true;
+            width[v as usize] = 0.0;
+            parent[v as usize] = NO_PARENT;
+        }
+        for &v in affected {
+            let (us, cs) = rev.out(v as usize);
+            let mut best = 0.0f64;
+            let mut best_par = NO_PARENT;
+            for (&u, &c) in us.iter().zip(cs) {
+                if u == mask || self.flag[u as usize] {
+                    continue;
+                }
+                let nw = width[u as usize].min(c);
+                if nw > best {
+                    best = nw;
+                    best_par = u;
+                }
+            }
+            if best > width[v as usize] {
+                width[v as usize] = best;
+                parent[v as usize] = best_par;
+                self.max_heap.push(MaxHeapEntry { key: best, node: v });
+            }
+        }
+        while let Some(MaxHeapEntry { key, node }) = self.max_heap.pop() {
+            let u = node as usize;
+            if key < width[u] {
+                continue;
+            }
+            let (ts, cs) = g.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                let v = t as usize;
+                let nw = key.min(c);
+                if nw > width[v] {
+                    width[v] = nw;
+                    parent[v] = node;
+                    self.max_heap.push(MaxHeapEntry { key: nw, node: t });
+                }
+            }
+        }
+        for &v in affected {
+            self.flag[v as usize] = false;
+        }
+    }
+
+    /// Increase-only widest-path repair after edge insertions (widths
+    /// only grow when edges appear). Mirror of [`Self::repair_decrease`].
+    pub fn repair_increase_widest(
+        &mut self,
+        g: &CsrGraph,
+        seeds: &[(u32, f64, u32)],
+        width: &mut [f64],
+        parent: &mut [u32],
+    ) {
+        self.max_heap.clear();
+        for &(node, cand, par) in seeds {
+            let v = node as usize;
+            if cand > width[v] {
+                width[v] = cand;
+                parent[v] = par;
+                self.max_heap.push(MaxHeapEntry { key: cand, node });
+            }
+        }
+        while let Some(MaxHeapEntry { key, node }) = self.max_heap.pop() {
+            let u = node as usize;
+            if key < width[u] {
+                continue;
+            }
+            let (ts, cs) = g.out(u);
+            for (&t, &c) in ts.iter().zip(cs) {
+                let v = t as usize;
+                let nw = key.min(c);
+                if nw > width[v] {
+                    width[v] = nw;
+                    parent[v] = node;
+                    self.max_heap.push(MaxHeapEntry { key: nw, node: t });
+                }
+            }
+        }
+    }
+}
+
+/// Collect the descendants of `root` in the shortest-path tree encoded
+/// by `parent` (excluding `root` itself), using caller-provided scratch
+/// (`head`/`next` are per-node child buckets, resized as needed). The
+/// result lands in `out`. These are exactly the vertices whose tree
+/// path routes through `root` — the affected set of
+/// [`DijkstraWorkspace::repair_removal`].
+pub fn tree_descendants(
+    parent: &[u32],
+    root: u32,
+    head: &mut Vec<u32>,
+    next: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
+    let n = parent.len();
+    head.clear();
+    head.resize(n, NO_PARENT);
+    next.clear();
+    next.resize(n, NO_PARENT);
+    for (v, &p) in parent.iter().enumerate() {
+        if p != NO_PARENT {
+            next[v] = head[p as usize];
+            head[p as usize] = v as u32;
+        }
+    }
+    out.clear();
+    let mut stack_top = out.len(); // DFS frontier lives inside `out`
+    let mut child = head[root as usize];
+    while child != NO_PARENT {
+        out.push(child);
+        child = next[child as usize];
+    }
+    while stack_top < out.len() {
+        let v = out[stack_top];
+        stack_top += 1;
+        let mut c = head[v as usize];
+        while c != NO_PARENT {
+            out.push(c);
+            c = next[c as usize];
+        }
+    }
+}
+
+/// Packed all-pairs result: `dist[s * n + v]` and `parent[s * n + v]`
+/// (the predecessor of `v` on the chosen shortest-path tree of source
+/// `s`; [`NO_PARENT`] for sources and unreachable nodes).
+#[derive(Clone, Debug)]
+pub struct CsrApsp {
+    pub n: usize,
+    pub dist: Vec<f64>,
+    pub parent: Vec<u32>,
+}
+
+impl CsrApsp {
+    /// Distance row of source `s`.
+    #[inline]
+    pub fn dist_row(&self, s: usize) -> &[f64] {
+        &self.dist[s * self.n..(s + 1) * self.n]
+    }
+
+    /// Parent row of source `s`.
+    #[inline]
+    pub fn parent_row(&self, s: usize) -> &[u32] {
+        &self.parent[s * self.n..(s + 1) * self.n]
+    }
+
+    /// True when source `s`'s shortest-path tree uses any out-edge of
+    /// `relay` — i.e. removing `relay`'s out-links could change row `s`.
+    pub fn routes_through(&self, s: usize, relay: u32) -> bool {
+        self.parent_row(s).contains(&relay)
+    }
+}
+
+/// How many worker threads an all-pairs fan-out should use for an
+/// `n`-source sweep: one per available core, never more than the rows,
+/// and none at all for small instances where spawn overhead dominates.
+fn fanout_threads(n: usize) -> usize {
+    if n < 64 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Run `sweep(source, dist_row, parent_row)` for every source, fanning
+/// rows out over scoped threads. Each thread owns a disjoint chunk of the
+/// output, so the result is byte-identical to the sequential order.
+fn all_pairs_fanout(
+    n: usize,
+    dist: &mut [f64],
+    parent: &mut [u32],
+    sweep: impl Fn(&mut DijkstraWorkspace, u32, &mut [f64], &mut [u32]) + Sync,
+) {
+    let threads = fanout_threads(n);
+    if threads <= 1 {
+        let mut ws = DijkstraWorkspace::new(n);
+        for s in 0..n {
+            let lo = s * n;
+            sweep(
+                &mut ws,
+                s as u32,
+                &mut dist[lo..lo + n],
+                &mut parent[lo..lo + n],
+            );
+        }
+        return;
+    }
+    let rows_per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut dist_rest = dist;
+        let mut parent_rest = parent;
+        for chunk in 0..threads {
+            let start = chunk * rows_per;
+            if start >= n {
+                break;
+            }
+            let rows = rows_per.min(n - start);
+            let (dist_chunk, d_rest) = dist_rest.split_at_mut(rows * n);
+            let (parent_chunk, p_rest) = parent_rest.split_at_mut(rows * n);
+            dist_rest = d_rest;
+            parent_rest = p_rest;
+            let sweep = &sweep;
+            scope.spawn(move || {
+                let mut ws = DijkstraWorkspace::new(n);
+                for (r, (d_row, p_row)) in dist_chunk
+                    .chunks_mut(n)
+                    .zip(parent_chunk.chunks_mut(n))
+                    .enumerate()
+                {
+                    sweep(&mut ws, (start + r) as u32, d_row, p_row);
+                }
+            });
+        }
+    });
+}
+
+/// All-pairs shortest paths over a CSR graph with parent tracking.
+/// Distances equal [`crate::apsp::apsp`] bit-for-bit.
+pub fn apsp_csr(g: &CsrGraph) -> CsrApsp {
+    let n = g.len();
+    let mut dist = vec![f64::INFINITY; n * n];
+    let mut parent = vec![NO_PARENT; n * n];
+    all_pairs_fanout(n, &mut dist, &mut parent, |ws, s, d, p| {
+        ws.sssp_into(g, s, None, d, p)
+    });
+    CsrApsp { n, dist, parent }
+}
+
+/// All-pairs widest paths with parent tracking. Matches the policy
+/// layer's dense widest matrix convention: diagonal `INFINITY`,
+/// unreachable 0.
+pub fn widest_csr(g: &CsrGraph) -> CsrApsp {
+    let n = g.len();
+    let mut width = vec![0.0; n * n];
+    let mut parent = vec![NO_PARENT; n * n];
+    all_pairs_fanout(n, &mut width, &mut parent, |ws, s, w, p| {
+        ws.widest_into(g, s, None, w, p)
+    });
+    CsrApsp {
+        n,
+        dist: width,
+        parent,
+    }
+}
+
+/// Shortest-path distances from every node *to* `target`: one workspace
+/// sweep on the reversed CSR graph (the CSR port of
+/// [`crate::apsp::distances_to`]).
+pub fn distances_to_csr(g: &CsrGraph, target: u32) -> Vec<f64> {
+    let n = g.len();
+    let rev = g.reversed();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NO_PARENT; n];
+    DijkstraWorkspace::new(n).sssp_into(&rev, target, None, &mut dist, &mut parent);
+    dist
+}
+
+/// Reconstruct the node path `source → target` from a packed parent row.
+/// Returns `None` when unreachable.
+pub fn path_from_parents(
+    parent: &[u32],
+    source: u32,
+    target: u32,
+    reachable: bool,
+) -> Option<Vec<NodeId>> {
+    if !reachable {
+        return None;
+    }
+    let mut path = vec![NodeId(target)];
+    let mut cur = target;
+    while cur != source {
+        let p = parent[cur as usize];
+        if p == NO_PARENT {
+            return None;
+        }
+        path.push(NodeId(p));
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Up to `want` edge-disjoint paths `source → target`, cheapest first:
+/// successive shortest paths with used edges disabled in place (no graph
+/// clones). `disabled` must be an all-false scratch of `edge_count()`
+/// length; it is restored before returning.
+pub fn successive_disjoint_paths(
+    g: &CsrGraph,
+    source: u32,
+    target: u32,
+    want: usize,
+    ws: &mut DijkstraWorkspace,
+    disabled: &mut [bool],
+) -> Vec<Vec<NodeId>> {
+    debug_assert_eq!(disabled.len(), g.edge_count());
+    let n = g.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NO_PARENT; n];
+    let mut used_slots: Vec<usize> = Vec::new();
+    let mut paths = Vec::new();
+    for _ in 0..want.max(1) {
+        sssp_with_disabled(g, source, ws, disabled, &mut dist, &mut parent);
+        let Some(path) =
+            path_from_parents(&parent, source, target, dist[target as usize].is_finite())
+        else {
+            break;
+        };
+        for w in path.windows(2) {
+            let (ts, _) = g.out(w[0].index());
+            let lo = g.offsets[w[0].index()] as usize;
+            // Disable the first still-enabled copy of the edge.
+            for (off, &t) in ts.iter().enumerate() {
+                if t == w[1].0 && !disabled[lo + off] {
+                    disabled[lo + off] = true;
+                    used_slots.push(lo + off);
+                    break;
+                }
+            }
+        }
+        paths.push(path);
+    }
+    for slot in used_slots {
+        disabled[slot] = false;
+    }
+    paths
+}
+
+/// Dijkstra that skips edges flagged in `disabled` (parallel to the CSR
+/// cost array) — the inner loop of [`successive_disjoint_paths`].
+fn sssp_with_disabled(
+    g: &CsrGraph,
+    source: u32,
+    ws: &mut DijkstraWorkspace,
+    disabled: &[bool],
+    dist: &mut [f64],
+    parent: &mut [u32],
+) {
+    ws.sssp_impl(g, source, None, Some(disabled), dist, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp::{apsp, distances_to};
+    use crate::dijkstra::dijkstra;
+    use crate::widest::widest_paths;
+
+    /// Deterministic pseudo-random sparse graph.
+    fn scrambled(n: usize, out_degree: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            for o in 0..out_degree {
+                let j = (i * 7 + o * 13 + 3) % n;
+                if j != i {
+                    let cost = ((i * 31 + j * 17 + o) % 97 + 1) as f64 * 0.5;
+                    g.add_edge(NodeId::from_index(i), NodeId::from_index(j), cost);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn csr_matches_digraph_shape() {
+        let g = scrambled(20, 4);
+        let c = CsrGraph::from_digraph(&g);
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.edge_count(), g.edge_count());
+        for i in 0..20 {
+            let (ts, cs) = c.out(i);
+            let edges = g.out_edges(NodeId::from_index(i));
+            assert_eq!(ts.len(), edges.len());
+            for ((&t, &cost), e) in ts.iter().zip(cs).zip(edges) {
+                assert_eq!(t, e.to.0);
+                assert_eq!(cost, e.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_csr_bitwise_matches_apsp() {
+        for n in [5usize, 17, 40, 80] {
+            let g = scrambled(n, 3);
+            let dense = apsp(&g);
+            let packed = apsp_csr(&CsrGraph::from_digraph(&g));
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        dense.at(i, j).to_bits(),
+                        packed.dist_row(i)[j].to_bits(),
+                        "({i},{j}) mismatch at n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn masked_sweep_equals_clearing_out_edges() {
+        let g = scrambled(24, 4);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut ws = DijkstraWorkspace::new(24);
+        for masked in [0u32, 5, 23] {
+            let mut cleared = g.clone();
+            cleared.clear_out_edges(NodeId(masked));
+            for s in 0..24u32 {
+                let oracle = dijkstra(&cleared, NodeId(s));
+                let mut dist = vec![0.0; 24];
+                let mut parent = vec![0u32; 24];
+                ws.sssp_into(&csr, s, Some(masked), &mut dist, &mut parent);
+                for j in 0..24 {
+                    assert_eq!(oracle.dist[j].to_bits(), dist[j].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widest_csr_matches_widest_paths() {
+        let g = scrambled(30, 4);
+        let packed = widest_csr(&CsrGraph::from_digraph(&g));
+        for s in 0..30 {
+            let oracle = widest_paths(&g, NodeId::from_index(s));
+            for j in 0..30 {
+                assert_eq!(oracle.width[j].to_bits(), packed.dist_row(s)[j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_distances_match_distances_to() {
+        let g = scrambled(25, 3);
+        let csr = CsrGraph::from_digraph(&g);
+        for t in [0u32, 7, 24] {
+            let oracle = distances_to(&g, NodeId(t));
+            let ported = distances_to_csr(&csr, t);
+            for j in 0..25 {
+                assert_eq!(oracle[j].to_bits(), ported[j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn repair_decrease_equals_from_scratch() {
+        // Remove node 3's out-edges, compute APSP, then re-add them via
+        // decrease-repair; every unaffected row must equal the full APSP.
+        let g = scrambled(30, 3);
+        let mut without = g.clone();
+        without.clear_out_edges(NodeId(3));
+        let before = apsp_csr(&CsrGraph::from_digraph(&without));
+        let full = CsrGraph::from_digraph(&g);
+        let truth = apsp_csr(&full);
+        let added: Vec<(u32, f64)> = g
+            .out_edges(NodeId(3))
+            .iter()
+            .map(|e| (e.to.0, e.cost))
+            .collect();
+
+        let mut ws = DijkstraWorkspace::new(30);
+        let mut dist = before.dist.clone();
+        let mut parent = before.parent.clone();
+        for s in 0..30 {
+            let d_i = dist[s * 30 + 3];
+            let seeds: Vec<(u32, f64, u32)> = if d_i.is_finite() {
+                added.iter().map(|&(w, c)| (w, d_i + c, 3)).collect()
+            } else {
+                Vec::new()
+            };
+            let row = &mut dist[s * 30..(s + 1) * 30];
+            let prow = &mut parent[s * 30..(s + 1) * 30];
+            ws.repair_decrease(&full, &seeds, row, prow);
+            for j in 0..30 {
+                assert_eq!(
+                    truth.dist_row(s)[j].to_bits(),
+                    row[j].to_bits(),
+                    "repair mismatch source {s} target {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_parents_form_a_valid_tree() {
+        let g = scrambled(26, 3);
+        let mut without = g.clone();
+        without.clear_out_edges(NodeId(5));
+        let before = apsp_csr(&CsrGraph::from_digraph(&without));
+        let full = CsrGraph::from_digraph(&g);
+        let added: Vec<(u32, f64)> = g
+            .out_edges(NodeId(5))
+            .iter()
+            .map(|e| (e.to.0, e.cost))
+            .collect();
+        let mut ws = DijkstraWorkspace::new(26);
+        let mut dist = before.dist.clone();
+        let mut parent = before.parent.clone();
+        for s in 0..26 {
+            let d_i = dist[s * 26 + 5];
+            let seeds: Vec<(u32, f64, u32)> = if d_i.is_finite() {
+                added.iter().map(|&(w, c)| (w, d_i + c, 5)).collect()
+            } else {
+                Vec::new()
+            };
+            ws.repair_decrease(
+                &full,
+                &seeds,
+                &mut dist[s * 26..(s + 1) * 26],
+                &mut parent[s * 26..(s + 1) * 26],
+            );
+        }
+        // Every parent edge must exist and be tight: d[p] + c(p,v) = d[v].
+        for s in 0..26 {
+            for v in 0..26 {
+                let p = parent[s * 26 + v];
+                if p == NO_PARENT {
+                    continue;
+                }
+                let (ts, cs) = full.out(p as usize);
+                let c = ts
+                    .iter()
+                    .zip(cs)
+                    .filter(|(&t, _)| t as usize == v)
+                    .map(|(_, &c)| c)
+                    .fold(f64::INFINITY, f64::min);
+                assert!(c.is_finite(), "parent edge {p}→{v} missing");
+                assert_eq!(
+                    (dist[s * 26 + p as usize] + c).to_bits(),
+                    dist[s * 26 + v].to_bits(),
+                    "loose parent edge {p}→{v} for source {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn repair_increase_widest_equals_from_scratch() {
+        let g = scrambled(28, 3);
+        let mut without = g.clone();
+        without.clear_out_edges(NodeId(2));
+        let before = widest_csr(&CsrGraph::from_digraph(&without));
+        let full = CsrGraph::from_digraph(&g);
+        let truth = widest_csr(&full);
+        let added: Vec<(u32, f64)> = g
+            .out_edges(NodeId(2))
+            .iter()
+            .map(|e| (e.to.0, e.cost))
+            .collect();
+        let mut ws = DijkstraWorkspace::new(28);
+        let mut width = before.dist.clone();
+        let mut parent = before.parent.clone();
+        for s in 0..28 {
+            let w_i = width[s * 28 + 2];
+            let seeds: Vec<(u32, f64, u32)> = added
+                .iter()
+                .filter(|_| w_i > 0.0)
+                .map(|&(w, c)| (w, w_i.min(c), 2))
+                .collect();
+            let row = &mut width[s * 28..(s + 1) * 28];
+            let prow = &mut parent[s * 28..(s + 1) * 28];
+            ws.repair_increase_widest(&full, &seeds, row, prow);
+            for j in 0..28 {
+                assert_eq!(
+                    truth.dist_row(s)[j].to_bits(),
+                    row[j].to_bits(),
+                    "widest repair mismatch source {s} target {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_removal_matches_masked_sweep() {
+        let g = scrambled(32, 4);
+        let csr = CsrGraph::from_digraph(&g);
+        let rev = csr.reversed();
+        let full = apsp_csr(&csr);
+        let mut ws = DijkstraWorkspace::new(32);
+        let (mut head, mut next, mut affected) = (Vec::new(), Vec::new(), Vec::new());
+        for masked in [0u32, 9, 31] {
+            for s in 0..32usize {
+                let mut dist = full.dist_row(s).to_vec();
+                let mut parent = full.parent_row(s).to_vec();
+                tree_descendants(&parent, masked, &mut head, &mut next, &mut affected);
+                ws.repair_removal(&csr, &rev, masked, &affected, &mut dist, &mut parent);
+                let mut oracle_d = vec![0.0; 32];
+                let mut oracle_p = vec![0u32; 32];
+                ws.sssp_into(&csr, s as u32, Some(masked), &mut oracle_d, &mut oracle_p);
+                for j in 0..32 {
+                    // Row `masked` itself is special-cased by callers.
+                    if s == masked as usize {
+                        continue;
+                    }
+                    assert_eq!(
+                        oracle_d[j].to_bits(),
+                        dist[j].to_bits(),
+                        "removal repair mismatch mask={masked} source={s} target={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_removal_widest_matches_masked_sweep() {
+        let g = scrambled(28, 4);
+        let csr = CsrGraph::from_digraph(&g);
+        let rev = csr.reversed();
+        let full = widest_csr(&csr);
+        let mut ws = DijkstraWorkspace::new(28);
+        let (mut head, mut next, mut affected) = (Vec::new(), Vec::new(), Vec::new());
+        for masked in [2u32, 15] {
+            for s in 0..28usize {
+                if s == masked as usize {
+                    continue;
+                }
+                let mut width = full.dist_row(s).to_vec();
+                let mut parent = full.parent_row(s).to_vec();
+                tree_descendants(&parent, masked, &mut head, &mut next, &mut affected);
+                ws.repair_removal_widest(&csr, &rev, masked, &affected, &mut width, &mut parent);
+                let mut oracle_w = vec![0.0; 28];
+                let mut oracle_p = vec![0u32; 28];
+                ws.widest_into(&csr, s as u32, Some(masked), &mut oracle_w, &mut oracle_p);
+                for j in 0..28 {
+                    assert_eq!(
+                        oracle_w[j].to_bits(),
+                        width[j].to_bits(),
+                        "widest removal repair mismatch mask={masked} source={s} target={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_descendants_collects_subtrees() {
+        // parent array for tree rooted at 0: 0→{1,2}, 1→{3,4}, 3→{5}.
+        let parent = [NO_PARENT, 0, 0, 1, 1, 3];
+        let (mut head, mut next, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        tree_descendants(&parent, 1, &mut head, &mut next, &mut out);
+        let mut got = out.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 4, 5]);
+        tree_descendants(&parent, 5, &mut head, &mut next, &mut out);
+        assert!(out.is_empty());
+        tree_descendants(&parent, 0, &mut head, &mut next, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn routes_through_detects_relays() {
+        // Line 0→1→2: source 0's tree routes through 1 but not through 2.
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let a = apsp_csr(&CsrGraph::from_digraph(&g));
+        assert!(a.routes_through(0, 1));
+        assert!(!a.routes_through(0, 2));
+        assert!(!a.routes_through(2, 1));
+    }
+
+    #[test]
+    fn successive_disjoint_paths_matches_digraph_successive() {
+        // Diamond with two disjoint routes.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 2.0);
+        let csr = CsrGraph::from_digraph(&g);
+        let mut ws = DijkstraWorkspace::new(4);
+        let mut disabled = vec![false; csr.edge_count()];
+        let paths = successive_disjoint_paths(&csr, 0, 3, 2, &mut ws, &mut disabled);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(paths[1], vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert!(disabled.iter().all(|&d| !d), "scratch must be restored");
+        // And a second call still works (scratch reuse).
+        let again = successive_disjoint_paths(&csr, 0, 3, 5, &mut ws, &mut disabled);
+        assert_eq!(again.len(), 2);
+    }
+
+    #[test]
+    fn path_from_parents_matches_dijkstra_path() {
+        let g = scrambled(18, 3);
+        let csr = CsrGraph::from_digraph(&g);
+        let a = apsp_csr(&csr);
+        for (s, t) in [(0usize, 9u32), (3, 17), (11, 2)] {
+            let oracle = dijkstra(&g, NodeId(s as u32)).path_to(NodeId(t));
+            let ported = path_from_parents(
+                a.parent_row(s),
+                s as u32,
+                t,
+                a.dist_row(s)[t as usize].is_finite(),
+            );
+            assert_eq!(oracle, ported);
+        }
+    }
+
+    #[test]
+    fn reversed_twice_is_identity_shape() {
+        let g = scrambled(15, 3);
+        let csr = CsrGraph::from_digraph(&g);
+        let back = csr.reversed().reversed();
+        assert_eq!(back.edge_count(), csr.edge_count());
+        for u in 0..15 {
+            let (t0, _) = csr.out(u);
+            let (t1, _) = back.out(u);
+            let mut a = t0.to_vec();
+            let mut b = t1.to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod apsp;
 pub mod connectivity;
+pub mod csr;
 pub mod cycles;
 pub mod dijkstra;
 pub mod disjoint;
@@ -42,6 +43,7 @@ pub mod mst;
 pub mod types;
 pub mod widest;
 
+pub use csr::{CsrApsp, CsrGraph, DijkstraWorkspace};
 pub use graph::DiGraph;
 pub use matrix::DistanceMatrix;
 pub use types::NodeId;

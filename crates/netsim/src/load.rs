@@ -30,8 +30,14 @@ pub struct LoadConfig {
     pub theta: f64,
     /// OU stationary σ in log-load space.
     pub sigma: f64,
-    /// EWMA smoothing constant per sampling step (the 1-minute sensor).
+    /// EWMA smoothing constant per sampling interval (the 1-minute
+    /// sensor).
     pub ewma_alpha: f64,
+    /// The sensor's sampling interval in seconds. [`LoadModel::advance`]
+    /// scales the smoothing constant to the elapsed time, so the sensor
+    /// responds at the same rate whether the simulator advances it in
+    /// one epoch-sized step or many small ones.
+    pub ewma_interval_secs: f64,
 }
 
 impl Default for LoadConfig {
@@ -43,6 +49,11 @@ impl Default for LoadConfig {
             theta: 1.0 / 180.0, // ~3 min correlation time
             sigma: 0.7,
             ewma_alpha: 0.3,
+            // The deployed sensor samples continuously (every staggered
+            // turn ≈ 2 s at n = 32, T = 60 s); over one epoch that
+            // compounds to near-complete convergence, which this
+            // interval preserves for epoch-sized advances.
+            ewma_interval_secs: 2.0,
         }
     }
 }
@@ -111,7 +122,9 @@ impl LoadModel {
     }
 
     /// Advance the load processes by `dt` seconds and refresh the EWMA
-    /// sensors once (i.e. one sampling interval elapses).
+    /// sensors, with the smoothing constant scaled to the elapsed
+    /// sampling intervals (`α_dt = 1 − (1 − α)^(dt / interval)`), so the
+    /// sensor's response rate is independent of the advance step size.
     pub fn advance(&mut self, dt: f64, rng: &mut impl Rng) {
         if dt <= 0.0 {
             return;
@@ -119,7 +132,8 @@ impl LoadModel {
         let decay = (-self.cfg.theta * dt).exp();
         let std_scale = self.cfg.sigma * (1.0 - decay * decay).sqrt();
         let normal = Normal::new(0.0, 1.0).expect("unit normal");
-        let alpha = self.cfg.ewma_alpha;
+        let alpha =
+            1.0 - (1.0 - self.cfg.ewma_alpha).powf(dt / self.cfg.ewma_interval_secs.max(1e-9));
         for (i, nl) in self.nodes.iter_mut().enumerate() {
             nl.x = nl.x * decay + std_scale * normal.sample(rng);
             let instant = (nl.log_base + nl.x).exp() + self.induced[i];

@@ -10,9 +10,10 @@
 
 use crate::capacity::CapacityLedger;
 use crate::demand::Flow;
-use egoist_graph::dijkstra::dijkstra;
+use egoist_graph::csr::{path_from_parents, successive_disjoint_paths, NO_PARENT};
 use egoist_graph::disjoint::edge_disjoint_paths;
-use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
+use egoist_graph::{CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId};
+use std::collections::HashMap;
 
 /// Router tuning.
 #[derive(Clone, Copy, Debug)]
@@ -135,56 +136,74 @@ impl FlowRouter {
             .sum()
     }
 
-    /// Up to `max_paths` edge-disjoint paths `src → dst`, cheapest
-    /// (announced) first: successive shortest paths with used edges
-    /// removed. The count is additionally capped by the true
-    /// edge-disjoint path bound from `egoist_graph::disjoint`.
-    fn disjoint_paths(&self, overlay: &DiGraph, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
-        let want = if self.cfg.max_paths <= 1 {
-            1
-        } else {
-            self.cfg
-                .max_paths
-                .min(edge_disjoint_paths(overlay, src, dst))
-        };
-        let mut work = overlay.clone();
-        let mut paths = Vec::new();
-        for _ in 0..want.max(1) {
-            let sp = dijkstra(&work, src);
-            let Some(path) = sp.path_to(dst) else { break };
-            for w in path.windows(2) {
-                work.remove_edge(w[0], w[1]);
-            }
-            paths.push(path);
-        }
-        paths
-    }
-
     /// Route one epoch's flows in order, metering them into capacity.
+    ///
+    /// Path computation is shared across flows: flows are grouped by
+    /// source and single-path mode runs exactly one workspace Dijkstra
+    /// per *distinct* source on a CSR copy of the overlay; multipath
+    /// mode caches the edge-disjoint path set per `(src, dst)` pair
+    /// (paths depend only on the overlay, not on ledger state, so the
+    /// cache cannot change admission results). Flows are still metered
+    /// into capacity strictly in their original order.
     pub fn route(&self, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        let n = inp.overlay.len();
         let mut ledger = CapacityLedger::new(inp.capacity);
         let offered: f64 = flows.iter().map(|f| f.rate_mbps).sum();
 
-        // Single-path mode reuses one Dijkstra per distinct source.
-        let mut sp_cache: Vec<Option<egoist_graph::dijkstra::ShortestPaths>> =
-            vec![None; inp.overlay.len()];
+        let csr = CsrGraph::from_digraph(inp.overlay);
+        let mut ws = DijkstraWorkspace::new(n);
+
+        // Group by source: one SSSP per distinct source, up front.
+        let mut per_source: Vec<Option<(Vec<f64>, Vec<u32>)>> = vec![None; n];
+        if self.cfg.max_paths <= 1 {
+            for flow in flows {
+                let s = flow.src.index();
+                if per_source[s].is_none() {
+                    let mut dist = vec![f64::INFINITY; n];
+                    let mut parent = vec![NO_PARENT; n];
+                    ws.sssp_into(&csr, flow.src.0, None, &mut dist, &mut parent);
+                    per_source[s] = Some((dist, parent));
+                }
+            }
+        }
+        // Multipath: disjoint path sets per distinct pair.
+        let mut pair_paths: HashMap<(u32, u32), Vec<Vec<NodeId>>> = HashMap::new();
+        let mut disabled = vec![false; csr.edge_count()];
 
         let mut routed = Vec::with_capacity(flows.len());
         let mut delivered_total = 0.0;
         for &flow in flows {
             let paths: Vec<Vec<NodeId>> = if self.cfg.max_paths <= 1 {
-                let s = flow.src.index();
-                if sp_cache[s].is_none() {
-                    sp_cache[s] = Some(dijkstra(inp.overlay, flow.src));
-                }
-                sp_cache[s]
+                let (dist, parent) = per_source[flow.src.index()]
                     .as_ref()
-                    .expect("just inserted")
-                    .path_to(flow.dst)
-                    .into_iter()
-                    .collect()
+                    .expect("per-source SSSP precomputed above");
+                path_from_parents(
+                    parent,
+                    flow.src.0,
+                    flow.dst.0,
+                    dist[flow.dst.index()].is_finite(),
+                )
+                .into_iter()
+                .collect()
             } else {
-                self.disjoint_paths(inp.overlay, flow.src, flow.dst)
+                pair_paths
+                    .entry((flow.src.0, flow.dst.0))
+                    .or_insert_with(|| {
+                        let want = self.cfg.max_paths.min(edge_disjoint_paths(
+                            inp.overlay,
+                            flow.src,
+                            flow.dst,
+                        ));
+                        successive_disjoint_paths(
+                            &csr,
+                            flow.src.0,
+                            flow.dst.0,
+                            want,
+                            &mut ws,
+                            &mut disabled,
+                        )
+                    })
+                    .clone()
             };
 
             if paths.is_empty() {

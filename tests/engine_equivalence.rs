@@ -1,0 +1,197 @@
+//! Golden equivalence: the epoch route-state engine must be a pure
+//! optimization.
+//!
+//! [`EngineMode::Epoch`] (shared snapshots + incremental residual
+//! repair) and [`EngineMode::Recompute`] (the straightforward per-turn
+//! oracle) simulate the same process; these tests pin that the two
+//! produce *bit-identical* outputs — every `EpochSample` series down to
+//! the float bits, and the serialized `TrafficReport` byte for byte —
+//! across metrics, scales, policies and churn. Any divergence means the
+//! incremental repair returned a wrong distance, not merely a different
+//! tie-break: policies only consume distances, and equal path minima are
+//! equal `f64`s.
+
+use egoist::core::cheat::CheatConfig;
+use egoist::core::policies::PolicyKind;
+use egoist::core::sim::{run, EngineMode, Metric, SimConfig, SimResult, Simulator};
+use egoist::netsim::ChurnModel;
+use egoist::traffic::demand::WorkloadKind;
+use egoist::traffic::engine::{TrafficConfig, TrafficEngine};
+
+fn cfg(n: usize, k: usize, policy: PolicyKind, metric: Metric, seed: u64) -> SimConfig {
+    let mut c = SimConfig::baseline(k, policy, metric, seed);
+    c.n = n;
+    c.epochs = 6;
+    c.warmup_epochs = 2;
+    c
+}
+
+fn with_churn(mut c: SimConfig) -> SimConfig {
+    let mut model = ChurnModel::planetlab_like(c.n, 4);
+    model.timescale_divisor = 120.0;
+    c.churn = Some(model.generate(c.epochs as f64 * c.epoch_secs));
+    c
+}
+
+/// Run both engines and demand bitwise-equal sample series.
+fn assert_equivalent(base: SimConfig) {
+    let mut epoch_cfg = base.clone();
+    epoch_cfg.engine = EngineMode::Epoch;
+    let mut oracle_cfg = base;
+    oracle_cfg.engine = EngineMode::Recompute;
+    let fast = run(epoch_cfg.clone());
+    let oracle = run(oracle_cfg);
+    assert_series_identical(&fast, &oracle, &epoch_cfg);
+}
+
+fn assert_series_identical(fast: &SimResult, oracle: &SimResult, cfg: &SimConfig) {
+    assert_eq!(fast.samples.len(), oracle.samples.len());
+    for (f, o) in fast.samples.iter().zip(&oracle.samples) {
+        let label = format!(
+            "{:?}/{:?} n={} seed={} epoch {}",
+            cfg.policy, cfg.metric, cfg.n, cfg.seed, f.epoch
+        );
+        assert_eq!(f.epoch, o.epoch, "{label}");
+        assert_eq!(f.rewirings, o.rewirings, "{label}: rewirings");
+        assert_eq!(f.alive, o.alive, "{label}: alive");
+        for (name, a, b) in [
+            ("individual_cost", &f.individual_cost, &o.individual_cost),
+            ("efficiency", &f.efficiency, &o.efficiency),
+            (
+                "bandwidth_utility",
+                &f.bandwidth_utility,
+                &o.bandwidth_utility,
+            ),
+        ] {
+            assert_eq!(a.len(), b.len(), "{label}: {name} length");
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: {name}[{i}] {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn delay_metric_32_nodes_identical() {
+    assert_equivalent(cfg(32, 4, PolicyKind::BestResponse, Metric::DelayPing, 3));
+}
+
+#[test]
+fn delay_metric_64_nodes_identical() {
+    assert_equivalent(cfg(64, 6, PolicyKind::BestResponse, Metric::DelayPing, 9));
+}
+
+#[test]
+fn load_metric_identical() {
+    assert_equivalent(cfg(32, 4, PolicyKind::BestResponse, Metric::Load, 5));
+    assert_equivalent(cfg(64, 5, PolicyKind::BestResponse, Metric::Load, 6));
+}
+
+#[test]
+fn bandwidth_metric_identical() {
+    assert_equivalent(cfg(32, 4, PolicyKind::BestResponse, Metric::Bandwidth, 7));
+    assert_equivalent(cfg(64, 5, PolicyKind::BestResponse, Metric::Bandwidth, 8));
+}
+
+#[test]
+fn churned_runs_identical() {
+    assert_equivalent(with_churn(cfg(
+        32,
+        4,
+        PolicyKind::BestResponse,
+        Metric::DelayPing,
+        11,
+    )));
+    assert_equivalent(with_churn(cfg(
+        64,
+        5,
+        PolicyKind::BestResponse,
+        Metric::Load,
+        13,
+    )));
+}
+
+#[test]
+fn other_policies_identical() {
+    for policy in [
+        PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
+        PolicyKind::HybridBestResponse { k2: 2 },
+        PolicyKind::Closest,
+        PolicyKind::Random,
+    ] {
+        assert_equivalent(cfg(32, 4, policy, Metric::DelayPing, 17));
+    }
+}
+
+#[test]
+fn free_rider_runs_identical() {
+    let mut c = cfg(32, 4, PolicyKind::BestResponse, Metric::DelayPing, 19);
+    c.cheat = CheatConfig::first_n(4, 2.0);
+    assert_equivalent(c);
+}
+
+#[test]
+fn traffic_report_json_identical() {
+    for metric in [Metric::DelayPing, Metric::Load, Metric::Bandwidth] {
+        let mut base = TrafficConfig::new(32, 4, PolicyKind::BestResponse, metric, 23);
+        base.sim.epochs = 8;
+        base.sim.warmup_epochs = 3;
+        base.workload = WorkloadKind::Gravity { exponent: 1.2 };
+        base.flows_per_epoch = 40;
+        let mut fast = base.clone();
+        fast.sim.engine = EngineMode::Epoch;
+        let mut oracle = base;
+        oracle.sim.engine = EngineMode::Recompute;
+        assert_eq!(
+            TrafficEngine::run(&fast).to_json(),
+            TrafficEngine::run(&oracle).to_json(),
+            "traffic report diverged on {metric:?}"
+        );
+    }
+}
+
+#[test]
+fn traffic_report_json_identical_with_churn() {
+    let mut base = TrafficConfig::new(32, 4, PolicyKind::BestResponse, Metric::Load, 29);
+    base.sim.epochs = 8;
+    base.sim.warmup_epochs = 3;
+    let mut model = ChurnModel::planetlab_like(32, 4);
+    model.timescale_divisor = 120.0;
+    base.sim.churn = Some(model.generate(base.sim.epochs as f64 * base.sim.epoch_secs));
+    let mut fast = base.clone();
+    fast.sim.engine = EngineMode::Epoch;
+    let mut oracle = base;
+    oracle.sim.engine = EngineMode::Recompute;
+    assert_eq!(
+        TrafficEngine::run(&fast).to_json(),
+        TrafficEngine::run(&oracle).to_json()
+    );
+}
+
+#[test]
+fn epoch_engine_actually_takes_the_incremental_paths() {
+    // Not just equivalent — the engine must be doing the cheap thing:
+    // copied residual rows and repaired rewirings dominate, and full
+    // rebuilds stay at one per epoch state (underlay advance / churn).
+    let c = cfg(32, 4, PolicyKind::BestResponse, Metric::DelayPing, 31);
+    let mut sim = Simulator::new(c.clone());
+    for epoch in 0..c.epochs {
+        sim.run_epoch(epoch);
+    }
+    let stats = sim.route_stats();
+    assert!(
+        stats.rebuilds <= c.epochs + 1,
+        "snapshot must survive whole epochs: {} rebuilds",
+        stats.rebuilds
+    );
+    assert!(
+        stats.residual_copied > stats.residual_swept,
+        "most residual rows should be copies: {} copied vs {} swept",
+        stats.residual_copied,
+        stats.residual_swept
+    );
+    assert!(
+        stats.rewire_repaired + stats.rewire_swept > 0,
+        "re-wirings must flow through the incremental repair"
+    );
+}
