@@ -64,7 +64,7 @@ impl Fixture {
             k,
             candidates,
             direct: &self.direct,
-            residual: &self.residual,
+            residual: egoist_core::ResidualView::dense(&self.residual),
             prefs: &self.prefs,
             alive: &self.alive,
             penalty: self.penalty,
@@ -80,7 +80,7 @@ fn bench_best_response(c: &mut Criterion) {
     for n in [20usize, 50, 100, 295] {
         let f = fixture(n, k);
         group.bench_with_input(BenchmarkId::new("local_search", n), &n, |b, _| {
-            let solver = BestResponse::local_search();
+            let mut solver = BestResponse::local_search();
             b.iter(|| {
                 let ctx = f.ctx(k, &f.candidates);
                 black_box(solver.solve(&ctx))
@@ -88,7 +88,7 @@ fn bench_best_response(c: &mut Criterion) {
         });
         // Sampled BR: m = 16 candidates regardless of n (§5).
         group.bench_with_input(BenchmarkId::new("sampled_m16", n), &n, |b, _| {
-            let solver = BestResponse::local_search();
+            let mut solver = BestResponse::local_search();
             let mut rng = derive(2, "bench-sample");
             let sample = random_sample(&f.candidates, 16, &mut rng);
             b.iter(|| {
@@ -101,7 +101,7 @@ fn bench_best_response(c: &mut Criterion) {
     for n in [12usize, 16, 20] {
         let f = fixture(n, k);
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            let solver = BestResponse::exact();
+            let mut solver = BestResponse::exact();
             b.iter(|| {
                 let ctx = f.ctx(k, &f.candidates);
                 black_box(solver.solve(&ctx))

@@ -65,7 +65,7 @@ fn br_on_sample(
         k,
         candidates: sample,
         direct: &direct,
-        residual: dist,
+        residual: egoist_core::ResidualView::dense(dist),
         prefs: &prefs,
         alive,
         penalty,

@@ -12,26 +12,52 @@
 //!   understates what the previous commit actually cost — the true
 //!   pre-change binary measured ~28% slower than the oracle on the
 //!   n=200 scenario on the same host (see EXPERIMENTS.md);
-//! * `wall_ms` — [`EngineMode::Epoch`], shared snapshots + incremental
-//!   residual repair.
+//! * `wall_ms` — [`EngineMode::Epoch`], shared snapshots + zero-copy
+//!   residual views.
 //!
 //! Both engines are run on identical seeds in the same process and their
 //! simulation outputs are fingerprinted; `outputs_identical` asserts the
 //! speedup is a pure optimization. Results land in `BENCH_perf.json`
-//! (schema `egoist-perf-baseline/v1`, insertion-ordered keys, so the
+//! (schema `egoist-perf-baseline/v2`, insertion-ordered keys, so the
 //! document layout is byte-deterministic; timings naturally vary).
 //!
+//! Schema v2 keeps every v1 field (the trajectory stays comparable) and
+//! adds, per epoch-stepping scenario: `prev_wall_ms` (the prior PR's
+//! committed `wall_ms`), per-phase wall time (`residual_ms` /
+//! `solver_ms` / `absorb_ms`), and the engine's copy-vs-sweep ratios
+//! from `RouteStats`.
+//!
 //! Usage:
-//!   perf_baseline [--quick] [--out PATH]   # measure and write
-//!   perf_baseline --check PATH             # validate schema, exit ≠ 0 on drift
+//!   perf_baseline [--quick] [--out PATH]      # measure and write
+//!   perf_baseline --check PATH                # validate schema
+//!   perf_baseline --check PATH --against GOLD # + fingerprint gate:
+//!     every scenario of PATH whose (name, n, k, epochs) also appears in
+//!     GOLD must carry an identical fingerprint — the CI regression gate
+//!     against the committed BENCH_perf.json.
 
 use egoist_core::policies::PolicyKind;
-use egoist_core::sim::{run, EngineMode, Metric, SimConfig, SimResult};
+use egoist_core::sim::{EngineMode, Metric, SimConfig, SimResult, Simulator};
+use egoist_core::snapshot::RouteStats;
 use egoist_traffic::engine::{TrafficConfig, TrafficEngine};
 use egoist_traffic::json::{array, num, JsonObject};
 use std::time::Instant;
 
-const SCHEMA: &str = "egoist-perf-baseline/v1";
+const SCHEMA: &str = "egoist-perf-baseline/v2";
+
+/// `wall_ms` per scenario as committed by the previous PR (schema v1) —
+/// the anchor the new numbers are compared against. Host-specific by
+/// nature (like every timing in BENCH_perf.json): a PR that lands a new
+/// baseline bumps these to the values it replaces, keeping the anchors
+/// reviewable in-diff rather than mutated by every regeneration.
+fn prev_wall_ms(name: &str) -> f64 {
+    match name {
+        "br_delay_n50" => 34.176238,
+        "br_delay_n200" => 954.45421,
+        "br_delay_n800" => 41433.060611,
+        "br_traffic_n200" => 979.201908,
+        _ => 0.0,
+    }
+}
 
 /// FNV-1a over the bit patterns of a sample series — a cheap output
 /// fingerprint that any divergence between engines will flip.
@@ -65,6 +91,15 @@ fn fingerprint_str(s: &str) -> u64 {
     h
 }
 
+/// Per-phase breakdown of the epoch engine's wall time plus its
+/// incremental-work counters (epoch-stepping scenarios only).
+struct PhaseBreakdown {
+    residual_ms: f64,
+    solver_ms: f64,
+    absorb_ms: f64,
+    stats: RouteStats,
+}
+
 struct ScenarioResult {
     name: String,
     n: usize,
@@ -75,11 +110,20 @@ struct ScenarioResult {
     rewirings: usize,
     outputs_identical: bool,
     fingerprint: u64,
+    phases: Option<PhaseBreakdown>,
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if a + b == 0 {
+        0.0
+    } else {
+        a as f64 / (a + b) as f64
+    }
 }
 
 impl ScenarioResult {
     fn to_json(&self) -> String {
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .u64("n", self.n as u64)
             .u64("k", self.k as u64)
             .u64("epochs", self.epochs as u64)
@@ -89,7 +133,22 @@ impl ScenarioResult {
             .u64("rewirings", self.rewirings as u64)
             .bool("outputs_identical", self.outputs_identical)
             .str("fingerprint", &format!("{:016x}", self.fingerprint))
-            .finish()
+            .f64("prev_wall_ms", prev_wall_ms(&self.name));
+        if let Some(ph) = &self.phases {
+            obj = obj
+                .f64("residual_ms", ph.residual_ms)
+                .f64("solver_ms", ph.solver_ms)
+                .f64("absorb_ms", ph.absorb_ms)
+                .f64(
+                    "residual_borrow_ratio",
+                    ratio(ph.stats.residual_borrowed, ph.stats.residual_swept),
+                )
+                .f64(
+                    "rewire_repair_ratio",
+                    ratio(ph.stats.rewire_repaired, ph.stats.rewire_swept),
+                );
+        }
+        obj.finish()
     }
 }
 
@@ -102,19 +161,42 @@ fn sim_cfg(n: usize, k: usize, epochs: usize, engine: EngineMode) -> SimConfig {
     c
 }
 
-/// Time one full BR epoch-stepping run under `engine`.
-fn time_sim(n: usize, k: usize, epochs: usize, engine: EngineMode) -> (f64, SimResult) {
+/// Time one full BR epoch-stepping run under `engine`, collecting the
+/// per-phase breakdown (all-zero under `Recompute`).
+fn time_sim(
+    n: usize,
+    k: usize,
+    epochs: usize,
+    engine: EngineMode,
+) -> (f64, SimResult, PhaseBreakdown) {
     let cfg = sim_cfg(n, k, epochs, engine);
     let t = Instant::now();
-    let result = run(cfg);
-    (t.elapsed().as_secs_f64() * 1e3, result)
+    let mut sim = Simulator::new(cfg.clone());
+    let mut samples = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let rewirings = sim.run_epoch(epoch);
+        samples.push(sim.measure(epoch, rewirings));
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let (residual_ns, solver_ns, absorb_ns) = sim.phase_ns();
+    let phases = PhaseBreakdown {
+        residual_ms: residual_ns as f64 / 1e6,
+        solver_ms: solver_ns as f64 / 1e6,
+        absorb_ms: absorb_ns as f64 / 1e6,
+        stats: sim.route_stats(),
+    };
+    let result = SimResult {
+        config_label: sim.config_label(),
+        samples,
+    };
+    (wall_ms, result, phases)
 }
 
 fn epoch_stepping_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult {
     eprintln!("# br_delay_n{n}: oracle (Recompute) ...");
-    let (baseline_ms, oracle) = time_sim(n, k, epochs, EngineMode::Recompute);
+    let (baseline_ms, oracle, _) = time_sim(n, k, epochs, EngineMode::Recompute);
     eprintln!("#   {baseline_ms:.0} ms; epoch engine ...");
-    let (wall_ms, fast) = time_sim(n, k, epochs, EngineMode::Epoch);
+    let (wall_ms, fast, phases) = time_sim(n, k, epochs, EngineMode::Epoch);
     eprintln!("#   {wall_ms:.0} ms ({:.1}x)", baseline_ms / wall_ms);
     let rewirings: usize = fast.samples.iter().map(|s| s.rewirings).sum();
     let (fa, fo) = (fingerprint_sim(&fast), fingerprint_sim(&oracle));
@@ -128,6 +210,7 @@ fn epoch_stepping_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult 
         rewirings,
         outputs_identical: fa == fo,
         fingerprint: fa,
+        phases: Some(phases),
     }
 }
 
@@ -160,13 +243,17 @@ fn traffic_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult {
         rewirings: 0,
         outputs_identical: fast == oracle,
         fingerprint: fingerprint_str(&fast),
+        phases: None,
     }
 }
 
 fn measure(quick: bool) -> String {
     let scenarios: Vec<ScenarioResult> = if quick {
+        // The n=50 scenario runs the *full-mode* parameters so its
+        // fingerprint is comparable against the committed
+        // BENCH_perf.json (the CI regression gate); it is cheap enough.
         vec![
-            epoch_stepping_scenario(50, 5, 3),
+            epoch_stepping_scenario(50, 5, 8),
             epoch_stepping_scenario(200, 8, 2),
             traffic_scenario(50, 5, 4),
         ]
@@ -195,7 +282,8 @@ fn measure(quick: bool) -> String {
 }
 
 /// Fields every scenario entry must carry; `--check` fails when any
-/// disappears (schema drift) or the schema tag changes.
+/// disappears (schema drift) or the schema tag changes. The per-phase
+/// fields are epoch-stepping-only and therefore not counted here.
 const REQUIRED_FIELDS: &[&str] = &[
     "\"n\":",
     "\"k\":",
@@ -206,7 +294,74 @@ const REQUIRED_FIELDS: &[&str] = &[
     "\"rewirings\":",
     "\"outputs_identical\":",
     "\"fingerprint\":",
+    "\"prev_wall_ms\":",
 ];
+
+/// One scenario entry pulled back out of a written document.
+struct ParsedScenario {
+    name: String,
+    n: u64,
+    k: u64,
+    epochs: u64,
+    fingerprint: String,
+}
+
+fn field_u64(body: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = body.find(&tag)? + tag.len();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn field_str(body: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let at = body.find(&tag)? + tag.len();
+    let end = body[at..].find('"')?;
+    Some(body[at..at + end].to_string())
+}
+
+/// Pull the scenario entries out of a perf document. The document is
+/// our own writer's output: the `scenarios` object nests exactly one
+/// level of flat objects, so a brace scan is enough.
+fn parse_scenarios(doc: &str) -> Result<Vec<ParsedScenario>, String> {
+    let tag = "\"scenarios\":{";
+    let start = doc.find(tag).ok_or("no scenarios object")? + tag.len();
+    let mut rest = &doc[start..];
+    let mut out = Vec::new();
+    while rest.starts_with('"') {
+        let name_end = rest[1..].find('"').ok_or("unterminated scenario name")? + 1;
+        let name = rest[1..name_end].to_string();
+        let body_start = name_end + 2; // skip `":`
+        if !rest[body_start..].starts_with('{') {
+            return Err(format!("scenario {name}: expected object"));
+        }
+        let body_end = rest[body_start..]
+            .find('}')
+            .ok_or("unterminated scenario object")?
+            + body_start;
+        let body = &rest[body_start..=body_end];
+        out.push(ParsedScenario {
+            n: field_u64(body, "n").ok_or(format!("scenario {name}: no n"))?,
+            k: field_u64(body, "k").ok_or(format!("scenario {name}: no k"))?,
+            epochs: field_u64(body, "epochs").ok_or(format!("scenario {name}: no epochs"))?,
+            fingerprint: field_str(body, "fingerprint")
+                .ok_or(format!("scenario {name}: no fingerprint"))?,
+            name,
+        });
+        rest = &rest[body_end + 1..];
+        match rest.chars().next() {
+            Some(',') => rest = &rest[1..],
+            _ => break,
+        }
+    }
+    if out.is_empty() {
+        return Err("no scenario entries".into());
+    }
+    Ok(out)
+}
 
 fn check(path: &str) -> Result<(), String> {
     let doc = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -238,6 +393,39 @@ fn check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The regression gate: every scenario of `path` whose
+/// `(name, n, k, epochs)` also appears in `golden` must carry an
+/// identical fingerprint — a drift means the engines' *outputs* changed,
+/// not just their timing.
+fn check_against(path: &str, golden: &str) -> Result<usize, String> {
+    let new_doc = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let gold_doc = std::fs::read_to_string(golden).map_err(|e| format!("read {golden}: {e}"))?;
+    let new = parse_scenarios(&new_doc)?;
+    let gold = parse_scenarios(&gold_doc)?;
+    let mut compared = 0;
+    for s in &new {
+        let Some(g) = gold
+            .iter()
+            .find(|g| g.name == s.name && g.n == s.n && g.k == s.k && g.epochs == s.epochs)
+        else {
+            continue;
+        };
+        if g.fingerprint != s.fingerprint {
+            return Err(format!(
+                "{}: fingerprint drifted from {} ({} vs {})",
+                s.name, golden, s.fingerprint, g.fingerprint
+            ));
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no comparable scenarios between {path} and {golden} — the gate checked nothing"
+        ));
+    }
+    Ok(compared)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--check") {
@@ -254,7 +442,26 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(gpos) = args.iter().position(|a| a == "--against") {
+            let golden = args
+                .get(gpos + 1)
+                .map(String::as_str)
+                .unwrap_or("BENCH_perf.json");
+            match check_against(path, golden) {
+                Ok(compared) => {
+                    println!("{path}: {compared} fingerprint(s) match {golden}");
+                }
+                Err(e) => {
+                    eprintln!("{path}: regression gate failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
+    }
+    if args.iter().any(|a| a == "--against") {
+        eprintln!("--against only applies with --check NEW --against GOLD; refusing to measure");
+        std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out = args

@@ -8,6 +8,7 @@
 
 use crate::cost::{disconnection_penalty, node_cost_from_dists, Preferences};
 use crate::policies::{Policy, PolicyKind, WiringContext};
+use crate::residual::ResidualView;
 use crate::wiring::Wiring;
 use egoist_graph::apsp::apsp;
 use egoist_graph::dijkstra::dijkstra;
@@ -92,7 +93,7 @@ impl Game {
             k: self.k,
             candidates: &candidates,
             direct: self.costs.row(i.index()),
-            residual: &residual,
+            residual: ResidualView::dense(&residual),
             prefs: &self.prefs,
             alive: &self.alive,
             penalty: self.penalty,

@@ -11,6 +11,9 @@
 //!   study (§4.5) expressible.
 //! * [`wiring`] — wirings `s_i`, global wirings `S`, residual graphs
 //!   `G_{−i}`.
+//! * [`residual`] — zero-copy [`ResidualView`]s over `G_{−i}` pairwise
+//!   state: dense for the from-scratch oracle, copy-on-write for the
+//!   epoch route-state engine.
 //! * [`policies`] — every neighbor-selection policy of §3.2/§3.3: exact
 //!   Best-Response, local-search BR, BR(ε), k-Random, k-Closest,
 //!   k-Regular, HybridBR, and the bandwidth-objective BR of §4.1.
@@ -32,6 +35,7 @@ pub mod cost;
 pub mod game;
 pub mod multipath;
 pub mod policies;
+pub mod residual;
 pub mod sampling;
 pub mod sim;
 pub mod snapshot;
@@ -41,6 +45,7 @@ pub mod wiring;
 pub use cost::{Preferences, RoutingCosts};
 pub use game::Game;
 pub use policies::{Policy, PolicyKind, WiringContext};
+pub use residual::ResidualView;
 pub use wiring::Wiring;
 
 #[cfg(test)]

@@ -133,6 +133,7 @@ pub fn average_gains(
 pub fn bandwidth_overlay(bw: &BandwidthModel, k: usize, sweeps: usize) -> DiGraph {
     use crate::cost::Preferences;
     use crate::policies::bandwidth::{all_pairs_widest, bandwidth_best_response, BwWiringContext};
+    use crate::residual::ResidualView;
 
     let n = bw.len();
     let prefs = Preferences::uniform(n);
@@ -153,7 +154,7 @@ pub fn bandwidth_overlay(bw: &BandwidthModel, k: usize, sweeps: usize) -> DiGrap
                 k,
                 candidates: &candidates,
                 direct_bw: &direct,
-                residual_bw: &residual_bw,
+                residual_bw: ResidualView::dense(&residual_bw),
                 prefs: &prefs,
                 alive: &alive,
             };

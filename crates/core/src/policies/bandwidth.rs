@@ -14,6 +14,7 @@
 //! instances, mirroring the paper's "within 5% of optimal" claim.
 
 use crate::cost::Preferences;
+use crate::residual::ResidualView;
 use egoist_graph::widest::widest_paths;
 use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
 
@@ -25,9 +26,9 @@ pub struct BwWiringContext<'a> {
     pub candidates: &'a [NodeId],
     /// Direct available bandwidth `i → j` (dense row, length n).
     pub direct_bw: &'a [f64],
-    /// Widest-path bandwidth over the residual overlay: dense n×n,
-    /// `residual_bw.get(w, j)`.
-    pub residual_bw: &'a DistanceMatrix,
+    /// Widest-path bandwidth over the residual overlay — a zero-copy
+    /// [`ResidualView`], dense or copy-on-write.
+    pub residual_bw: ResidualView<'a>,
     pub prefs: &'a Preferences,
     pub alive: &'a [bool],
 }
@@ -69,11 +70,12 @@ impl BwInstance {
         let mut util = vec![0.0; cand.len() * nd];
         for (c, &w) in cand.iter().enumerate() {
             let first_hop = ctx.direct_bw[w.index()];
+            let via_w = ctx.residual_bw.row(w.index());
             for (t, &j) in dests.iter().enumerate() {
                 let tail = if w == j {
                     f64::INFINITY
                 } else {
-                    ctx.residual_bw.get(w, j)
+                    via_w[j.index()]
                 };
                 util[c * nd + t] = first_hop.min(tail);
             }
@@ -307,7 +309,7 @@ mod tests {
             k,
             candidates: &parts.candidates,
             direct_bw: &parts.direct,
-            residual_bw: &parts.residual,
+            residual_bw: ResidualView::dense(&parts.residual),
             prefs: &parts.prefs,
             alive: &parts.alive,
         }

@@ -17,6 +17,17 @@ use super::{Policy, WiringContext};
 use egoist_graph::NodeId;
 use rand::rngs::StdRng;
 
+/// Reusable backing storage for [`BrInstance`] — the assignment matrix
+/// is `|cand| × |dests|` (≈ n² on full candidate pools), so allocating
+/// it fresh every re-wiring turn put a dense-materialization floor under
+/// the epoch engine. Solver policies own one arena and recycle it
+/// across turns; contents never survive a build, so reuse cannot change
+/// a decision.
+#[derive(Default)]
+pub struct BrArena {
+    assign: Vec<f64>,
+}
+
 /// Assignment-cost instance for one node's best response.
 ///
 /// `assign[c][t]` is the cost node `i` pays for destination `t` when
@@ -36,8 +47,18 @@ pub struct BrInstance {
 }
 
 impl BrInstance {
-    /// Build the instance from a wiring context.
+    /// Build the instance from a wiring context, allocating fresh
+    /// storage (tests and one-shot callers).
     pub fn build(ctx: &WiringContext<'_>) -> BrInstance {
+        Self::build_in(ctx, &mut BrArena::default())
+    }
+
+    /// Build the instance into `arena`'s recycled buffers — candidate
+    /// rows are read straight through the residual view, and the
+    /// assignment matrix reuses the arena's capacity, so a warmed-up
+    /// engine allocates nothing per turn. Call [`Self::recycle`] when
+    /// done to hand the storage back.
+    pub fn build_in(ctx: &WiringContext<'_>, arena: &mut BrArena) -> BrInstance {
         let cand: Vec<NodeId> = ctx.candidates.to_vec();
         let dests: Vec<NodeId> = ctx
             .candidates
@@ -47,7 +68,9 @@ impl BrInstance {
             .collect();
         let weight: Vec<f64> = dests.iter().map(|&j| ctx.prefs.get(ctx.node, j)).collect();
         let nd = dests.len();
-        let mut assign = vec![ctx.penalty; cand.len() * nd];
+        let mut assign = std::mem::take(&mut arena.assign);
+        assign.clear();
+        assign.resize(cand.len() * nd, ctx.penalty);
         for (c, &w) in cand.iter().enumerate() {
             let d_iw = ctx.direct[w.index()];
             if !d_iw.is_finite() {
@@ -70,9 +93,94 @@ impl BrInstance {
         }
     }
 
+    /// Return the instance's backing storage to `arena` for the next
+    /// turn.
+    pub fn recycle(self, arena: &mut BrArena) {
+        arena.assign = self.assign;
+    }
+
     #[inline]
     fn a(&self, c: usize, t: usize) -> f64 {
         self.assign[c * self.dests.len() + t]
+    }
+
+    /// The assignment cost of candidate `c` serving destination `t`
+    /// (clamped at the penalty) — read-only probe for benches and tests.
+    #[inline]
+    pub fn assignment(&self, c: usize, t: usize) -> f64 {
+        self.a(c, t)
+    }
+
+    /// Candidate `c`'s assignment row.
+    #[inline]
+    fn arow(&self, c: usize) -> &[f64] {
+        let nd = self.dests.len();
+        &self.assign[c * nd..(c + 1) * nd]
+    }
+
+    /// `Σ_t w_t · max(0, b2_t − a(c,t))` — the insertion-gain bound of
+    /// candidate `c`, summed branchless over four accumulators so the
+    /// compiler vectorizes it. The value is used *only* as a pruning
+    /// bound behind a 1e-9 relative margin, so its summation order (and
+    /// therefore its exact bits) is free.
+    fn gain_row(&self, c: usize, b2: &[f64]) -> f64 {
+        let w = &self.weight;
+        let a = self.arow(c);
+        let mut acc = [0.0f64; 4];
+        for ((wc, bc), ac) in w
+            .chunks_exact(4)
+            .zip(b2.chunks_exact(4))
+            .zip(a.chunks_exact(4))
+        {
+            acc[0] += wc[0] * (bc[0] - ac[0]).max(0.0);
+            acc[1] += wc[1] * (bc[1] - ac[1]).max(0.0);
+            acc[2] += wc[2] * (bc[2] - ac[2]).max(0.0);
+            acc[3] += wc[3] * (bc[3] - ac[3]).max(0.0);
+        }
+        let mut rest = 0.0;
+        for ((wt, bt), at) in w
+            .chunks_exact(4)
+            .remainder()
+            .iter()
+            .zip(b2.chunks_exact(4).remainder())
+            .zip(a.chunks_exact(4).remainder())
+        {
+            rest += wt * (bt - at).max(0.0);
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
+    }
+
+    /// Four-accumulator `Σ_t w_t · min(cap_t, a(c,t))` — the same sum
+    /// the exact evaluations compute, in a different (vectorizable)
+    /// order. Used only to prefilter: a candidate is skipped when even
+    /// `approx − margin` cannot beat the incumbent, and every potential
+    /// winner is re-evaluated in the exact reference order, so accepted
+    /// results carry reference bits.
+    fn approx_capped_cost(&self, c: usize, cap: &[f64]) -> f64 {
+        let w = &self.weight;
+        let a = self.arow(c);
+        let mut acc = [0.0f64; 4];
+        for ((wc, cc), ac) in w
+            .chunks_exact(4)
+            .zip(cap.chunks_exact(4))
+            .zip(a.chunks_exact(4))
+        {
+            acc[0] += wc[0] * cc[0].min(ac[0]);
+            acc[1] += wc[1] * cc[1].min(ac[1]);
+            acc[2] += wc[2] * cc[2].min(ac[2]);
+            acc[3] += wc[3] * cc[3].min(ac[3]);
+        }
+        let mut rest = 0.0;
+        for ((wt, ct), at) in w
+            .chunks_exact(4)
+            .remainder()
+            .iter()
+            .zip(cap.chunks_exact(4).remainder())
+            .zip(a.chunks_exact(4).remainder())
+        {
+            rest += wt * ct.min(*at);
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
     }
 
     /// Cost of a candidate subset (indices into `cand`).
@@ -95,17 +203,21 @@ impl BrInstance {
     /// Greedy seeding: repeatedly add the candidate with the largest
     /// marginal cost reduction. `forced` members are taken first.
     ///
-    /// Two micro-opts over [`Self::greedy_reference`], both
-    /// decision-identical (asserted by tests):
+    /// Decision-identical micro-opts over [`Self::greedy_reference`]
+    /// (asserted by tests):
     /// * membership is a boolean mask instead of `Vec::contains` — the
     ///   candidate loop runs `O(k · |cand|)` membership probes and a
     ///   linear scan per probe dominates once `|cand|` reaches the
     ///   hundreds (see the `membership_mask` criterion group);
-    /// * the per-candidate accumulation aborts as soon as the partial
-    ///   sum reaches the incumbent's cost — terms are non-negative and
-    ///   the pick comparison is strict, so an aborted candidate can
-    ///   never have won, and completed sums are accumulated in the
-    ///   identical order (bit-identical picks).
+    /// * each candidate is prefiltered by a vectorized approximation of
+    ///   its cost ([`Self::approx_capped_cost`]): the exact sum differs
+    ///   from the approximation only by summation-order rounding
+    ///   (≤ ~1e-13 relative), so `approx − margin ≥ pick_cost` with a
+    ///   1e-9 relative margin proves the candidate cannot *strictly*
+    ///   beat the incumbent and is skipped;
+    /// * survivors are accumulated in the identical reference order
+    ///   (aborting once the partial sum reaches the incumbent — terms
+    ///   are non-negative), so picks and their costs are bit-identical.
     pub fn greedy(&self, k: usize, forced: &[usize]) -> Vec<usize> {
         let nd = self.dests.len();
         let mut chosen: Vec<usize> = forced.to_vec();
@@ -123,6 +235,12 @@ impl BrInstance {
             let mut pick = None;
             let mut pick_cost = f64::INFINITY;
             for (c, _) in in_chosen.iter().enumerate().filter(|(_, &taken)| !taken) {
+                if pick_cost.is_finite() {
+                    let approx = self.approx_capped_cost(c, &best_per_dest);
+                    if approx - 1e-9 * (approx + 1.0) >= pick_cost {
+                        continue; // provably cannot strictly win
+                    }
+                }
                 let mut cost = 0.0;
                 let mut aborted = false;
                 for (t, (&w, &best)) in self.weight.iter().zip(best_per_dest.iter()).enumerate() {
@@ -189,17 +307,31 @@ impl BrInstance {
     ///
     /// The swap scan is the epoch-stepping hot spot (`O(k · |cand| ·
     /// |dests|)` per round in [`Self::local_search_reference`]), so this
-    /// version prunes it with a sound lower bound: a swap inserting
-    /// `inn` can reduce the cost by at most
-    /// `G(inn) = Σ_t w_t · max(0, b2_t − a(inn, t))` (the surviving
-    /// assignment never exceeds the second-best `b2_t`), so any pair
-    /// with `base(out) − G(inn) ⪆ threshold` is skipped without
-    /// evaluation. Survivors are accumulated in exactly the reference
-    /// order (and may abort once the partial sum crosses the threshold —
-    /// terms are non-negative), so accepted swaps, their costs, and the
-    /// whole trajectory are bit-identical to the reference; the safety
-    /// margin on the bound dwarfs accumulated rounding error. Tests and
-    /// the golden equivalence suite pin the equality.
+    /// version prunes it in three sound layers:
+    ///
+    /// * **Insertion-gain bound.** A swap inserting `inn` can reduce the
+    ///   cost by at most `G(inn) = Σ_t w_t · max(0, b2_t − a(inn, t))`
+    ///   (the surviving assignment never exceeds the second-best
+    ///   `b2_t`), so any pair with `base(out) − G(inn) ⪆ threshold` is
+    ///   skipped without evaluation. The bound is maintained
+    ///   *incrementally*: a swap changes `b2` at only the destinations
+    ///   the swapped pair served, so later rounds patch `G` on that
+    ///   changed set (`O(|cand| · |changed|)`) instead of re-deriving
+    ///   all `|cand| · |dests|` terms; the candidate freed by the swap
+    ///   is re-derived in full. The patched bound equals the re-derived
+    ///   one up to summation-order rounding.
+    /// * **Vectorized eval prefilter.** Pairs surviving the bound get a
+    ///   branchless four-lane approximation of their exact cost
+    ///   ([`Self::approx_capped_cost`]); `approx − margin ≥ threshold`
+    ///   proves the exact evaluation would have aborted.
+    /// * **Exact evaluation.** Survivors are accumulated in exactly the
+    ///   reference order (aborting once the partial sum crosses the
+    ///   threshold — terms are non-negative), so accepted swaps, their
+    ///   costs, and the whole trajectory are bit-identical to the
+    ///   reference: both filters only discard pairs provably unable to
+    ///   *strictly* beat the incumbent, by 1e-9 relative margins that
+    ///   dwarf every accumulated rounding term (≤ ~1e-13 relative).
+    ///   Tests and the golden equivalence suite pin the equality.
     pub fn local_search(
         &self,
         k: usize,
@@ -228,6 +360,11 @@ impl BrInstance {
         }
         let mut gain_bound = vec![0.0f64; nc];
         let mut surviving = vec![0.0f64; nd];
+        let mut prev_b2: Vec<f64> = Vec::new();
+        let mut changed: Vec<usize> = Vec::new();
+        // Candidate freed by the previous round's swap (its bound is
+        // stale since it sat inside the subset).
+        let mut freed: Option<usize> = None;
 
         for _ in 0..max_rounds {
             // best1/best2 assignment per destination.
@@ -245,19 +382,50 @@ impl BrInstance {
                 }
             }
             // Upper bound on any insertion's gain, independent of `out`.
-            for (inn, g) in gain_bound.iter_mut().enumerate() {
-                if in_subset[inn] {
-                    continue;
-                }
-                let mut gain = 0.0;
-                for (t, &w) in self.weight.iter().enumerate() {
-                    let s = b2[t];
-                    let a = self.a(inn, t);
-                    if a < s {
-                        gain += w * (s - a);
+            if prev_b2.is_empty() {
+                for (inn, g) in gain_bound.iter_mut().enumerate() {
+                    if !in_subset[inn] {
+                        *g = self.gain_row(inn, &b2);
                     }
                 }
-                *g = gain;
+                prev_b2 = b2.clone();
+            } else {
+                changed.clear();
+                for t in 0..nd {
+                    if prev_b2[t].to_bits() != b2[t].to_bits() {
+                        changed.push(t);
+                    }
+                }
+                if changed.len() * 4 >= nd {
+                    // Dense change: a full re-derive is cheaper.
+                    for (inn, g) in gain_bound.iter_mut().enumerate() {
+                        if !in_subset[inn] {
+                            *g = self.gain_row(inn, &b2);
+                        }
+                    }
+                } else {
+                    for (inn, g) in gain_bound.iter_mut().enumerate() {
+                        if in_subset[inn] || freed == Some(inn) {
+                            continue;
+                        }
+                        // Patch the bound on the changed destinations,
+                        // inflating by 1e-12 of the term magnitude: the
+                        // patch's rounding error is ≤ ~1e-14 of it, so
+                        // the bound can only drift *upward* (safe side)
+                        // across rounds.
+                        let (mut plus, mut minus) = (0.0f64, 0.0f64);
+                        for &t in &changed {
+                            let a = self.a(inn, t);
+                            plus += self.weight[t] * (b2[t] - a).max(0.0);
+                            minus += self.weight[t] * (prev_b2[t] - a).max(0.0);
+                        }
+                        *g += (plus - minus) + 1e-12 * (plus + minus);
+                    }
+                    if let Some(f) = freed {
+                        gain_bound[f] = self.gain_row(f, &b2);
+                    }
+                }
+                prev_b2.copy_from_slice(&b2);
             }
 
             let mut best_swap: Option<(usize, usize, f64)> = None; // (out, in, new_cost)
@@ -287,6 +455,10 @@ impl BrInstance {
                     if base - gain_bound[inn] >= threshold + margin {
                         continue;
                     }
+                    let approx = self.approx_capped_cost(inn, &surviving);
+                    if approx - 1e-9 * (approx + 1.0) >= threshold {
+                        continue; // the exact eval would have aborted
+                    }
                     let mut new_cost = 0.0;
                     let mut aborted = false;
                     for (t, (&w, &surv)) in self.weight.iter().zip(surviving.iter()).enumerate() {
@@ -310,6 +482,7 @@ impl BrInstance {
                     subset.push(inn);
                     in_subset[out] = false;
                     in_subset[inn] = true;
+                    freed = Some(out);
                     cost = new_cost;
                 }
                 None => break,
@@ -470,6 +643,8 @@ pub struct BestResponse {
     /// restores the convergence the exact game has (\[20\]'s equilibria)
     /// without measurably changing cost.
     pub hysteresis: f64,
+    /// Recycled assignment-matrix storage (no per-turn allocation).
+    arena: BrArena,
 }
 
 impl BestResponse {
@@ -485,6 +660,7 @@ impl BestResponse {
             max_rounds: 64,
             exact_budget: 0,
             hysteresis: 0.01,
+            arena: BrArena::default(),
         }
     }
 
@@ -496,6 +672,7 @@ impl BestResponse {
             max_rounds: 64,
             exact_budget: 2_000_000,
             hysteresis: 0.0,
+            arena: BrArena::default(),
         }
     }
 
@@ -514,8 +691,8 @@ impl BestResponse {
     }
 
     /// Solve and return (neighbors, cost).
-    pub fn solve(&self, ctx: &WiringContext<'_>) -> (Vec<NodeId>, f64) {
-        let inst = BrInstance::build(ctx);
+    pub fn solve(&mut self, ctx: &WiringContext<'_>) -> (Vec<NodeId>, f64) {
+        let inst = BrInstance::build_in(ctx, &mut self.arena);
         let k = ctx.effective_k();
         // Current wiring (alive members only) as candidate indices.
         let init: Vec<usize> = ctx
@@ -547,18 +724,23 @@ impl BestResponse {
         };
 
         // Hysteresis: a full current wiring is kept unless beaten clearly.
-        if self.hysteresis > 0.0 && init.len() == k {
+        let result = if self.hysteresis > 0.0 && init.len() == k {
             let current_cost = inst.eval(&init);
             if best_cost >= current_cost * (1.0 - self.hysteresis) {
-                return (inst.to_nodes(&init), current_cost);
+                (inst.to_nodes(&init), current_cost)
+            } else {
+                (inst.to_nodes(&best_set), best_cost)
             }
-        }
-        (inst.to_nodes(&best_set), best_cost)
+        } else {
+            (inst.to_nodes(&best_set), best_cost)
+        };
+        inst.recycle(&mut self.arena);
+        result
     }
 }
 
 impl Policy for BestResponse {
-    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
         self.solve(ctx).0
     }
 

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 pub struct KClosest;
 
 impl Policy for KClosest {
-    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
         let k = ctx.effective_k();
         let mut pool: Vec<NodeId> = ctx.candidates.to_vec();
         // Sort by direct cost, tie-break on id for determinism.

@@ -9,7 +9,7 @@
 //! the proposed wiring against the cost of *keeping the current wiring*;
 //! only a relative improvement beyond ε triggers the change.
 
-use super::best_response::{BestResponse, BrInstance};
+use super::best_response::{BestResponse, BrArena, BrInstance};
 use super::{Policy, WiringContext};
 use egoist_graph::NodeId;
 use rand::rngs::StdRng;
@@ -19,6 +19,8 @@ pub struct EpsilonBr {
     /// Relative improvement threshold (0.1 = 10%).
     pub epsilon: f64,
     inner: BestResponse,
+    /// Recycled storage for the keep-current evaluation.
+    arena: BrArena,
 }
 
 impl EpsilonBr {
@@ -27,6 +29,7 @@ impl EpsilonBr {
         EpsilonBr {
             epsilon,
             inner: BestResponse::local_search(),
+            arena: BrArena::default(),
         }
     }
 
@@ -36,29 +39,37 @@ impl EpsilonBr {
         EpsilonBr {
             epsilon,
             inner: BestResponse::local_search().with_reference(true),
+            arena: BrArena::default(),
         }
     }
 
     /// Cost of keeping the current wiring, under announced information.
     pub fn current_cost(ctx: &WiringContext<'_>) -> f64 {
-        let inst = BrInstance::build(ctx);
+        Self::current_cost_in(ctx, &mut BrArena::default())
+    }
+
+    /// [`Self::current_cost`] into recycled storage.
+    fn current_cost_in(ctx: &WiringContext<'_>, arena: &mut BrArena) -> f64 {
+        let inst = BrInstance::build_in(ctx, arena);
         let idx: Vec<usize> = ctx
             .current
             .iter()
             .filter_map(|w| inst.cand.iter().position(|&c| c == *w))
             .collect();
-        inst.eval(&idx)
+        let cost = inst.eval(&idx);
+        inst.recycle(arena);
+        cost
     }
 }
 
 impl Policy for EpsilonBr {
-    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
         let (proposed, new_cost) = self.inner.solve(ctx);
         if ctx.current.is_empty() {
             return proposed; // first join: wire unconditionally
         }
         // Re-evaluate the old wiring against *current* announced costs.
-        let old_cost = Self::current_cost(ctx);
+        let old_cost = Self::current_cost_in(ctx, &mut self.arena);
         if old_cost.is_finite() && new_cost < old_cost * (1.0 - self.epsilon) {
             proposed
         } else {

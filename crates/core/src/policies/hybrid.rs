@@ -9,7 +9,7 @@
 //! of fixing `Y_i := 1` for backbone targets; in our local-search solver
 //! the donated candidates are simply *forced* members of the subset.
 
-use super::best_response::BrInstance;
+use super::best_response::{BrArena, BrInstance};
 use super::{Policy, WiringContext};
 use egoist_graph::cycles::backbone_edges;
 use egoist_graph::NodeId;
@@ -21,12 +21,18 @@ pub struct HybridBr {
     pub k2: usize,
     /// Local-search rounds for the selfish part.
     pub max_rounds: usize,
+    /// Recycled solver storage.
+    arena: BrArena,
 }
 
 impl HybridBr {
     /// HybridBR donating `k2` links.
     pub fn new(k2: usize) -> Self {
-        HybridBr { k2, max_rounds: 64 }
+        HybridBr {
+            k2,
+            max_rounds: 64,
+            arena: BrArena::default(),
+        }
     }
 
     /// The donated out-links of `node` given the current alive set.
@@ -40,7 +46,7 @@ impl HybridBr {
 }
 
 impl Policy for HybridBr {
-    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
         let mut alive_nodes: Vec<NodeId> = ctx.candidates.to_vec();
         alive_nodes.push(ctx.node);
         alive_nodes.sort_unstable();
@@ -52,14 +58,16 @@ impl Policy for HybridBr {
             return donated.into_iter().take(k).collect();
         }
 
-        let inst = BrInstance::build(ctx);
+        let inst = BrInstance::build_in(ctx, &mut self.arena);
         let forced: Vec<usize> = donated
             .iter()
             .filter_map(|d| inst.cand.iter().position(|&c| c == *d))
             .collect();
         let init = inst.greedy(k, &forced);
         let (subset, _) = inst.local_search(k, init, &forced, self.max_rounds);
-        inst.to_nodes(&subset)
+        let nodes = inst.to_nodes(&subset);
+        inst.recycle(&mut self.arena);
+        nodes
     }
 
     fn name(&self) -> &'static str {
@@ -97,7 +105,7 @@ mod tests {
         let d = metric(n);
         let w = Wiring::empty(n);
         let parts = CtxParts::build(&d, &w, NodeId(5), 5);
-        let h = HybridBr::new(2);
+        let mut h = HybridBr::new(2);
         let wired = h.wire(&parts.ctx(), &mut StdRng::seed_from_u64(0));
         assert_eq!(wired.len(), 5);
         assert!(wired.contains(&NodeId(6)));
@@ -110,7 +118,7 @@ mod tests {
         let n = 9;
         let d = metric(n);
         let w = Wiring::empty(n);
-        let h = HybridBr::new(2);
+        let mut h = HybridBr::new(2);
         let mut g = DiGraph::new(n);
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..n {
@@ -129,7 +137,7 @@ mod tests {
         let d = metric(n);
         let w = Wiring::empty(n);
         let parts = CtxParts::build(&d, &w, NodeId(0), 2);
-        let h = HybridBr::new(4); // k2 > k
+        let mut h = HybridBr::new(4); // k2 > k
         let wired = h.wire(&parts.ctx(), &mut StdRng::seed_from_u64(0));
         assert_eq!(wired.len(), 2);
     }
@@ -142,7 +150,7 @@ mod tests {
         let w = Wiring::empty(n);
         let parts = CtxParts::build(&d, &w, NodeId(0), 6);
         let ctx = parts.ctx();
-        let h = HybridBr::new(2);
+        let mut h = HybridBr::new(2);
         let wired = h.wire(&ctx, &mut StdRng::seed_from_u64(0));
         let inst = BrInstance::build(&ctx);
         let full: Vec<usize> = wired

@@ -23,7 +23,8 @@ pub mod random;
 pub mod regular;
 
 use crate::cost::Preferences;
-use egoist_graph::{DistanceMatrix, NodeId};
+use crate::residual::ResidualView;
+use egoist_graph::NodeId;
 use rand::rngs::StdRng;
 
 /// Everything a policy may consult when choosing neighbors for one node.
@@ -42,8 +43,8 @@ pub struct WiringContext<'a> {
     /// entries for dead nodes are ignored.
     pub direct: &'a [f64],
     /// Pairwise distances over the residual graph `G_{−i}` (announced
-    /// costs), dense n×n.
-    pub residual: &'a DistanceMatrix,
+    /// costs) — a zero-copy [`ResidualView`], dense or copy-on-write.
+    pub residual: ResidualView<'a>,
     /// Preference weights.
     pub prefs: &'a Preferences,
     /// Aliveness per node.
@@ -65,7 +66,12 @@ impl<'a> WiringContext<'a> {
 pub trait Policy {
     /// Choose up to `ctx.k` neighbors. Implementations must return
     /// distinct, alive candidates and never `ctx.node` itself.
-    fn wire(&self, ctx: &WiringContext<'_>, rng: &mut StdRng) -> Vec<NodeId>;
+    ///
+    /// `&mut self`: solver policies keep reusable scratch arenas (the
+    /// BR assignment matrix) across turns so the hot path allocates
+    /// nothing per re-wiring. Implementations must stay deterministic —
+    /// scratch reuse may never change a decision.
+    fn wire(&mut self, ctx: &WiringContext<'_>, rng: &mut StdRng) -> Vec<NodeId>;
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -145,6 +151,7 @@ pub(crate) mod testutil {
     use super::*;
     use crate::wiring::Wiring;
     use egoist_graph::apsp::apsp;
+    use egoist_graph::DistanceMatrix;
 
     /// Build a context over a concrete wiring for tests. Returns owned
     /// parts; bind them and then borrow into a `WiringContext`.
@@ -188,7 +195,7 @@ pub(crate) mod testutil {
                 k: self.k,
                 candidates: &self.candidates,
                 direct: &self.direct,
-                residual: &self.residual,
+                residual: ResidualView::dense(&self.residual),
                 prefs: &self.prefs,
                 alive: &self.alive,
                 penalty: self.penalty,

@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 pub struct KRandom;
 
 impl Policy for KRandom {
-    fn wire(&self, ctx: &WiringContext<'_>, rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, rng: &mut StdRng) -> Vec<NodeId> {
         let k = ctx.effective_k();
         let mut pool: Vec<NodeId> = ctx.candidates.to_vec();
         pool.shuffle(rng);

@@ -30,7 +30,7 @@ pub fn offsets(n: usize, k: usize) -> Vec<usize> {
 }
 
 impl Policy for KRegular {
-    fn wire(&self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
+    fn wire(&mut self, ctx: &WiringContext<'_>, _rng: &mut StdRng) -> Vec<NodeId> {
         let n = ctx.alive.len();
         let k = ctx.effective_k();
         let mut out = Vec::with_capacity(k);

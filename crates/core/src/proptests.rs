@@ -62,7 +62,7 @@ fn ctx<'a>(b: &'a Built, node: NodeId, k: usize) -> WiringContext<'a> {
         k,
         candidates: &b.candidates,
         direct: &b.direct,
-        residual: &b.residual,
+        residual: crate::residual::ResidualView::dense(&b.residual),
         prefs: &b.prefs,
         alive: &b.alive,
         penalty: b.penalty,
@@ -103,7 +103,7 @@ proptest! {
             PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
             PolicyKind::HybridBestResponse { k2: 2 },
         ] {
-            let policy = kind.instantiate();
+            let mut policy = kind.instantiate();
             let out = policy.wire(&c, &mut rng);
             prop_assert!(out.len() <= k.max(2), "{} overshot k", policy.name());
             let mut s = out.clone();
@@ -159,5 +159,104 @@ proptest! {
         let mut rnd = crate::game::Game::new(d, 3, PolicyKind::Random, seed);
         rnd.sweep();
         prop_assert!(game.social_cost() <= rnd.social_cost() + 1e-9);
+    }
+
+    /// The copy-on-write [`crate::residual::ResidualView`] is
+    /// bit-identical to a from-scratch all-pairs run on the residual
+    /// graph — random point probes, full candidate-row reads, and reads
+    /// after a committed re-wiring, for both snapshot kinds.
+    #[test]
+    fn residual_view_matches_from_scratch_oracle(
+        d in arb_matrix(14),
+        probes in proptest::collection::vec((0usize..64, 0usize..64), 8),
+        turn in 0usize..64,
+        twist in 0u64..1000,
+    ) {
+        use crate::cost::disconnection_penalty;
+        use crate::policies::bandwidth::all_pairs_widest;
+        use crate::snapshot::{RouteState, SnapshotKind};
+
+        let n = d.len();
+        // Ring plus one extra chord per node: trees with real subtrees.
+        let mut w = ring_wiring(n);
+        for i in 0..n {
+            let mut links = w.of(NodeId::from_index(i)).to_vec();
+            links.push(NodeId::from_index((i + 2 + (twist as usize % 3)) % n));
+            links.retain(|x| x.index() != i);
+            links.sort_unstable();
+            links.dedup();
+            w.rewire(NodeId::from_index(i), links);
+        }
+        let alive = vec![true; n];
+        for kind in [SnapshotKind::Additive, SnapshotKind::Widest] {
+            let oracle = |node: NodeId, wiring: &Wiring| -> DistanceMatrix {
+                let g = wiring.residual_graph(node, &d, &alive);
+                match kind {
+                    SnapshotKind::Additive => apsp(&g),
+                    SnapshotKind::Widest => all_pairs_widest(&g),
+                }
+            };
+            let mut rs = RouteState::new();
+            rs.rebuild(
+                kind,
+                d.clone(),
+                disconnection_penalty(&d),
+                alive.clone(),
+                &w.to_graph(&d, &alive),
+            );
+
+            let i = turn % n;
+            let truth = oracle(NodeId::from_index(i), &w);
+            {
+                let view = rs.residual(i);
+                // Full candidate-row reads (every row, every entry).
+                for s in 0..n {
+                    let row = view.row(s);
+                    for (t, x) in row.iter().enumerate() {
+                        prop_assert_eq!(
+                            x.to_bits(),
+                            truth.at(s, t).to_bits(),
+                            "{kind:?} row read ({s},{t}) for turn {i}"
+                        );
+                    }
+                }
+                // Random point probes.
+                for &(ps, pt) in &probes {
+                    let (s, t) = (ps % n, pt % n);
+                    prop_assert_eq!(
+                        view.at(s, t).to_bits(),
+                        truth.at(s, t).to_bits(),
+                        "{kind:?} probe ({s},{t}) for turn {i}"
+                    );
+                }
+            }
+
+            // Commit a re-wiring of the turn node and read again through
+            // a fresh view for a different node.
+            let node = NodeId::from_index(i);
+            let old = w.of(node).to_vec();
+            let mut links: Vec<NodeId> = (1..=2)
+                .map(|o| NodeId::from_index((i + o + twist as usize) % n))
+                .filter(|x| x.index() != i)
+                .collect();
+            links.sort_unstable();
+            links.dedup();
+            w.rewire(node, links);
+            rs.note_rewire(node, &old, &w, &alive);
+
+            let j = (i + 1 + twist as usize) % n;
+            let truth2 = oracle(NodeId::from_index(j), &w);
+            let view2 = rs.residual(j);
+            for s in 0..n {
+                let row = view2.row(s);
+                for (t, x) in row.iter().enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        truth2.at(s, t).to_bits(),
+                        "{kind:?} post-rewire read ({s},{t}) for turn {j}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,171 @@
+//! Zero-copy views over residual (`G−i`) pairwise state.
+//!
+//! §3.1 only requires the residual distances to be *consultable* — "run
+//! an all-pairs shortest path algorithm on `G−i`" names the quantity, not
+//! a storage format. The epoch route-state engine therefore stopped
+//! materializing a dense per-turn matrix: a [`ResidualView`] lets the
+//! policy layer read residual rows wherever they actually live.
+//!
+//! Two backings exist:
+//!
+//! * **Dense** — a borrowed [`DistanceMatrix`], used by the `Recompute`
+//!   oracle, the protocol nodes, the sampling experiments and every test
+//!   that builds residual state from scratch.
+//! * **Copy-on-write** — the epoch engine's form: rows whose
+//!   shortest-path tree avoids the turn node borrow the epoch snapshot's
+//!   APSP rows directly (removal of `i`'s out-links cannot change them,
+//!   so the borrow is bit-exact); only *affected* rows are repaired into
+//!   a small side pool of arena buffers, and the turn node's own row is
+//!   the fixed "no out-links" pattern. A per-source slot table dispatches
+//!   each row read to the right backing in O(1).
+//!
+//! Exactness of the copy-on-write form: a source's tree that routes
+//! around `i` survives the removal of `i`'s out-edges, and removal can
+//! only lengthen paths, so every such row's minima are unchanged — and
+//! equal path minima are equal `f64`s, hence borrowing is bit-identical
+//! to recomputation. The affected rows are produced by the same removal
+//! repair the dense path used, on the same inputs. The view as a whole
+//! is therefore indistinguishable, bit for bit, from
+//! `apsp(residual_graph(i))` — pinned by the proptests in this crate and
+//! the golden equivalence suite.
+
+use egoist_graph::DistanceMatrix;
+use egoist_graph::NodeId;
+
+/// Sentinel in the slot table: read the row from the snapshot.
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// The copy-on-write backing, borrowed from the route-state engine.
+#[derive(Clone, Copy)]
+pub struct CowResidual<'a> {
+    /// Node count (rows are length `n`).
+    pub n: usize,
+    /// The turn node `i` whose out-links are removed.
+    pub node: usize,
+    /// The snapshot's packed all-pairs rows (`n × n`, row-major).
+    pub snap: &'a [f64],
+    /// Per-source dispatch: [`NO_SLOT`] borrows the snapshot row,
+    /// anything else indexes a pool row.
+    pub slot: &'a [u32],
+    /// Repaired rows, packed by slot (`slots × n`, row-major).
+    pub pool: &'a [f64],
+    /// The turn node's own residual row (no out-links survive).
+    pub self_row: &'a [f64],
+}
+
+#[derive(Clone, Copy)]
+enum Inner<'a> {
+    Dense(&'a DistanceMatrix),
+    Cow(CowResidual<'a>),
+}
+
+/// A read-only view of pairwise residual state, dense or copy-on-write.
+///
+/// Policies consume exactly two access patterns — whole candidate rows
+/// ([`ResidualView::row`]) and point probes ([`ResidualView::at`]) — and
+/// both cost O(1) dispatch over either backing.
+#[derive(Clone, Copy)]
+pub struct ResidualView<'a> {
+    inner: Inner<'a>,
+}
+
+impl<'a> ResidualView<'a> {
+    /// View over a dense matrix (the from-scratch form).
+    pub fn dense(m: &'a DistanceMatrix) -> Self {
+        ResidualView {
+            inner: Inner::Dense(m),
+        }
+    }
+
+    /// View over the epoch engine's copy-on-write backing.
+    pub fn cow(parts: CowResidual<'a>) -> Self {
+        debug_assert_eq!(parts.slot.len(), parts.n);
+        debug_assert_eq!(parts.self_row.len(), parts.n);
+        debug_assert_eq!(parts.snap.len(), parts.n * parts.n);
+        ResidualView {
+            inner: Inner::Cow(parts),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self.inner {
+            Inner::Dense(m) => m.len(),
+            Inner::Cow(p) => p.n,
+        }
+    }
+
+    /// True when the view covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row of source `s`: its residual distance (or width) to every node.
+    #[inline]
+    pub fn row(&self, s: usize) -> &'a [f64] {
+        match self.inner {
+            Inner::Dense(m) => m.row(s),
+            Inner::Cow(p) => {
+                if s == p.node {
+                    p.self_row
+                } else {
+                    match p.slot[s] {
+                        NO_SLOT => &p.snap[s * p.n..(s + 1) * p.n],
+                        slot => &p.pool[slot as usize * p.n..(slot as usize + 1) * p.n],
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point probe by raw indices.
+    #[inline]
+    pub fn at(&self, s: usize, t: usize) -> f64 {
+        self.row(s)[t]
+    }
+
+    /// Point probe by node ids.
+    #[inline]
+    pub fn get(&self, i: NodeId, j: NodeId) -> f64 {
+        self.row(i.index())[j.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_view_reads_through() {
+        let m = DistanceMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        let v = ResidualView::dense(&m);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.at(1, 3), 13.0);
+        assert_eq!(v.get(NodeId(3), NodeId(1)), 31.0);
+        assert_eq!(v.row(2), m.row(2));
+    }
+
+    #[test]
+    fn cow_view_dispatches_rows() {
+        let n = 3;
+        // Snapshot rows: row s filled with s; pool slot 0: filled with 9.
+        let snap: Vec<f64> = (0..n * n).map(|p| (p / n) as f64).collect();
+        let pool = vec![9.0; n];
+        let slot = vec![NO_SLOT, 0, NO_SLOT];
+        let self_row = vec![f64::INFINITY, f64::INFINITY, 0.0];
+        let v = ResidualView::cow(CowResidual {
+            n,
+            node: 2,
+            snap: &snap,
+            slot: &slot,
+            pool: &pool,
+            self_row: &self_row,
+        });
+        assert_eq!(v.row(0), &[0.0, 0.0, 0.0], "borrowed from snapshot");
+        assert_eq!(v.row(1), &[9.0, 9.0, 9.0], "repaired pool row");
+        assert_eq!(v.row(2), &self_row[..], "turn node's own row");
+        assert_eq!(v.at(1, 2), 9.0);
+    }
+}

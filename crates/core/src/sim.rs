@@ -26,6 +26,7 @@ use crate::policies::bandwidth::{
 };
 use crate::policies::hybrid::HybridBr;
 use crate::policies::{Policy, PolicyKind, WiringContext};
+use crate::residual::ResidualView;
 use crate::snapshot::{RouteState, RouteStats, SnapshotKind};
 use crate::wiring::Wiring;
 use egoist_graph::apsp::apsp;
@@ -37,6 +38,8 @@ use egoist_netsim::churn::ChurnTrace;
 use egoist_netsim::rng::derive;
 use egoist_netsim::{BandwidthModel, DelayModel, LoadModel};
 use rand::rngs::StdRng;
+use std::borrow::Cow;
+use std::time::Instant;
 
 /// Which cost metric drives wiring and evaluation (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -214,6 +217,8 @@ pub struct Simulator {
     pending_join: Vec<bool>,
     /// The epoch route-state engine (snapshot + incremental repair).
     route_state: RouteState,
+    /// Wall time spent inside policy solvers (ns; epoch engine only).
+    solver_ns: u64,
 }
 
 impl Simulator {
@@ -255,6 +260,7 @@ impl Simulator {
             churn_cursor: 0,
             pending_join: vec![false; n],
             route_state: RouteState::new(),
+            solver_ns: 0,
             delays,
             cfg,
         }
@@ -298,6 +304,19 @@ impl Simulator {
             Metric::Bandwidth => self.bandwidths.available_matrix(),
         };
         self.cfg.cheat.announced_matrix(&base)
+    }
+
+    /// Announced matrix, borrowed from the live route snapshot when one
+    /// exists instead of being rebuilt dense. The borrow is bit-exact:
+    /// the snapshot is invalidated whenever anything that feeds the
+    /// announcement (underlay state, membership, external feedback)
+    /// changes, so a live snapshot's copy equals what
+    /// [`Self::announced_cost_matrix`] would recompute.
+    fn announced_cow(&self) -> Cow<'_, DistanceMatrix> {
+        match self.route_state.snapshot() {
+            Some(s) => Cow::Borrowed(&s.announced),
+            None => Cow::Owned(self.announced_cost_matrix()),
+        }
     }
 
     /// Direct candidate-link cost estimates for node `i` (what the
@@ -452,7 +471,7 @@ impl Simulator {
                 k: self.cfg.k,
                 candidates: &candidates,
                 direct: &direct,
-                residual: &residual,
+                residual: ResidualView::dense(&residual),
                 prefs: &self.prefs,
                 alive: &self.alive,
                 penalty,
@@ -462,7 +481,7 @@ impl Simulator {
             return self.wiring.rewire(i, new);
         }
 
-        // Epoch engine: shared snapshot + incremental residual repair.
+        // Epoch engine: shared snapshot + zero-copy residual view.
         self.ensure_snapshot(SnapshotKind::Additive);
         let penalty = self
             .route_state
@@ -481,7 +500,9 @@ impl Simulator {
             penalty,
             current: &current,
         };
+        let t0 = Instant::now();
         let new = self.policy.wire(&ctx, &mut self.policy_rng);
+        self.solver_ns += t0.elapsed().as_nanos() as u64;
         let changed = self.wiring.rewire(i, new);
         if changed {
             self.route_state
@@ -508,7 +529,7 @@ impl Simulator {
                         k: self.cfg.k,
                         candidates,
                         direct_bw: &direct,
-                        residual_bw: &residual_bw,
+                        residual_bw: ResidualView::dense(&residual_bw),
                         prefs: &self.prefs,
                         alive: &self.alive,
                     };
@@ -525,7 +546,10 @@ impl Simulator {
                         prefs: &self.prefs,
                         alive: &self.alive,
                     };
-                    bandwidth_best_response(&ctx).0
+                    let t0 = Instant::now();
+                    let picked = bandwidth_best_response(&ctx).0;
+                    self.solver_ns += t0.elapsed().as_nanos() as u64;
+                    picked
                 }
             }
             PolicyKind::Closest => {
@@ -536,7 +560,7 @@ impl Simulator {
                     k: self.cfg.k,
                     candidates,
                     direct_bw: &direct,
-                    residual_bw: &residual_bw,
+                    residual_bw: ResidualView::dense(&residual_bw),
                     prefs: &self.prefs,
                     alive: &self.alive,
                 };
@@ -551,7 +575,7 @@ impl Simulator {
                     k: self.cfg.k,
                     candidates,
                     direct: &direct,
-                    residual: &residual,
+                    residual: ResidualView::dense(&residual),
                     prefs: &self.prefs,
                     alive: &self.alive,
                     penalty: 1.0,
@@ -580,7 +604,7 @@ impl Simulator {
         if !matches!(self.cfg.policy, PolicyKind::Random | PolicyKind::Closest) {
             return;
         }
-        let announced = self.announced_cost_matrix();
+        let announced = self.announced_cow();
         let alive_ids = self.alive_ids();
         if alive_ids.len() < 2 {
             return;
@@ -610,7 +634,7 @@ impl Simulator {
     pub fn measure(&self, epoch: usize, rewirings: usize) -> EpochSample {
         let n = self.cfg.n;
         let alive_ids = self.alive_ids();
-        let announced = self.announced_cost_matrix();
+        let announced = self.announced_cow();
         let truth = self.true_cost_matrix();
 
         let mut individual_cost = vec![f64::NAN; n];
@@ -802,6 +826,15 @@ impl Simulator {
         self.announced_cost_matrix()
     }
 
+    /// The announced edge-cost matrix without the dense rebuild when a
+    /// route snapshot is live — the zero-copy read path the data plane
+    /// (traffic engine) uses once per epoch. Falls back to computing
+    /// (owned) when no snapshot exists; contents are bit-identical
+    /// either way.
+    pub fn announced_view(&self) -> Cow<'_, DistanceMatrix> {
+        self.announced_cow()
+    }
+
     /// Snapshot of the true edge-cost matrix for the active metric.
     pub fn true_matrix(&self) -> DistanceMatrix {
         self.true_cost_matrix()
@@ -811,6 +844,17 @@ impl Simulator {
     /// [`EngineMode::Recompute`]).
     pub fn route_stats(&self) -> RouteStats {
         self.route_state.stats
+    }
+
+    /// Per-phase wall time of the epoch engine in nanoseconds:
+    /// `(residual-view derivation, policy solver, rewire absorb)`.
+    /// All zero under [`EngineMode::Recompute`].
+    pub fn phase_ns(&self) -> (u64, u64, u64) {
+        (
+            self.route_state.stats.residual_ns,
+            self.solver_ns,
+            self.route_state.stats.absorb_ns,
+        )
     }
 }
 

@@ -14,28 +14,38 @@
 //!   shortest-path-tree parents), built once and invalidated only when
 //!   the underlay advances, membership churns, or an external actor
 //!   (traffic feedback) mutates the underlay models.
-//! * **Residual repair** — the turn node `i`'s `G−i` distances are
-//!   derived from the snapshot: a source `s` re-runs its (masked) sweep
-//!   only when its shortest-path tree actually routes through one of
-//!   `i`'s out-edges; every other row is copied verbatim. Copying is
-//!   exact: a tree that avoids `i`'s out-links survives their removal,
-//!   and removal can only lengthen paths, so the minimum is unchanged —
-//!   bit-for-bit, since equal path minima are equal `f64`s.
-//! * **Rewiring repair** — when node `i` commits a new wiring, sources
-//!   whose tree used a *removed* edge `(i, w)` are re-swept in full;
-//!   everyone else absorbs the *added* edges through a decrease-only
-//!   (additive) or increase-only (widest) repair seeded at the new edge
-//!   heads. `d(s, i)` itself never changes across `i`'s re-wiring (a
-//!   simple path to `i` uses none of `i`'s out-edges), which is what
-//!   makes the seeds valid.
+//! * **Residual views, not residual matrices** — the turn node `i`'s
+//!   `G−i` distances are served through a zero-copy
+//!   [`crate::residual::ResidualView`]: a source `s` is repaired into a
+//!   small side pool only when its shortest-path tree actually routes
+//!   through one of `i`'s out-edges; every other row is *borrowed* from
+//!   the snapshot in place. Borrowing is exact: a tree that avoids `i`'s
+//!   out-links survives their removal, and removal can only lengthen
+//!   paths, so the minimum is unchanged — bit-for-bit, since equal path
+//!   minima are equal `f64`s. Per-turn cost is `O(affected · sweep)`
+//!   instead of the former dense `O(n²)` materialization.
+//! * **Rewiring repair** — when node `i` commits a new wiring, the
+//!   snapshot absorbs it *in place*: the pool rows this very turn
+//!   repaired (the post-removal state of every affected source) are
+//!   written back over their snapshot rows, unaffected rows already
+//!   *are* post-removal (that is the borrow argument above), and then
+//!   the *added* edges propagate through a decrease-only (additive) or
+//!   increase-only (widest) repair seeded at the new edge heads.
+//!   `d(s, i)` itself never changes across `i`'s re-wiring (a simple
+//!   path to `i` uses none of `i`'s out-edges), which is what makes the
+//!   seeds valid. The snapshot's CSR is patched on node `i`'s out-edge
+//!   slice only ([`CsrGraph::rewrite_out_edges`]).
 //!
 //! The all-pairs rebuild fans sources out over `std::thread::scope`
 //! threads in `egoist_graph::csr`, each writing disjoint row slices, so
-//! results are byte-deterministic under any scheduling.
+//! results are byte-deterministic under any scheduling (and run inline
+//! when one core is all there is).
 
+use crate::residual::{CowResidual, ResidualView, NO_SLOT};
 use crate::wiring::Wiring;
 use egoist_graph::csr::{tree_descendants, NO_PARENT};
 use egoist_graph::{CsrApsp, CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId};
+use std::time::Instant;
 
 /// Which path semiring the snapshot's all-pairs state uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,28 +80,38 @@ pub struct EpochSnapshot {
 pub struct RouteStats {
     /// Full snapshot rebuilds (underlay advances, churn, feedback).
     pub rebuilds: usize,
-    /// Residual rows recomputed because the source routed through the
-    /// turn node.
+    /// Residual rows repaired into the pool because the source routed
+    /// through the turn node.
     pub residual_swept: usize,
-    /// Residual rows copied verbatim from the snapshot.
-    pub residual_copied: usize,
+    /// Residual rows borrowed zero-copy from the snapshot.
+    pub residual_borrowed: usize,
     /// Post-rewiring rows re-swept in full (a tree edge was removed).
     pub rewire_swept: usize,
     /// Post-rewiring rows absorbed by decrease/increase repair.
     pub rewire_repaired: usize,
+    /// Wall time spent deriving residual views (ns).
+    pub residual_ns: u64,
+    /// Wall time spent absorbing committed re-wirings (ns).
+    pub absorb_ns: u64,
 }
 
 /// The engine: an optional live snapshot plus reusable scratch arenas.
 pub struct RouteState {
     snap: Option<EpochSnapshot>,
     ws: DijkstraWorkspace,
-    /// Scratch residual matrix handed to the policy layer each turn —
-    /// retained (with `residual_parent`) so a committed re-wiring can
-    /// swap it in as the new all-pairs state instead of re-sweeping.
-    residual: DistanceMatrix,
-    /// Parents matching `residual`, row-major.
-    residual_parent: Vec<u32>,
-    /// Which node the retained residual was computed for.
+    /// Copy-on-write side pool: per-source dispatch table (`NO_SLOT` =
+    /// borrow the snapshot row) plus packed repaired rows. Retained
+    /// between [`Self::residual`] and [`Self::note_rewire`] so a
+    /// committed re-wiring can write the post-removal rows back instead
+    /// of re-sweeping them.
+    row_slot: Vec<u32>,
+    pool_dist: Vec<f64>,
+    pool_parent: Vec<u32>,
+    /// Source of each pool slot, in slot order.
+    pool_rows: Vec<u32>,
+    /// The turn node's own residual row (no out-links survive `G−i`).
+    self_row: Vec<f64>,
+    /// Which node the retained pool was computed for.
     residual_for: Option<usize>,
     /// Child-bucket scratch for subtree collection.
     child_head: Vec<u32>,
@@ -106,8 +126,11 @@ impl RouteState {
         RouteState {
             snap: None,
             ws: DijkstraWorkspace::new(0),
-            residual: DistanceMatrix::filled(0, f64::INFINITY),
-            residual_parent: Vec::new(),
+            row_slot: Vec::new(),
+            pool_dist: Vec::new(),
+            pool_parent: Vec::new(),
+            pool_rows: Vec::new(),
+            self_row: Vec::new(),
             residual_for: None,
             child_head: Vec::new(),
             child_next: Vec::new(),
@@ -161,84 +184,106 @@ impl RouteState {
         });
     }
 
-    /// The dense residual matrix for the turn node `i` — pairwise
-    /// distances (or widths) over `G−i`, bit-identical to a from-scratch
-    /// all-pairs run on the residual graph.
+    /// The residual view for the turn node `i` — pairwise distances (or
+    /// widths) over `G−i`, bit-identical to a from-scratch all-pairs run
+    /// on the residual graph, without materializing it.
     ///
     /// Affected rows (sources whose shortest-path tree routes through
-    /// `i`) are repaired in place on `i`'s tree descendants only; all
-    /// other rows are verbatim copies. The result is retained together
-    /// with its parents so [`Self::note_rewire`] can adopt it wholesale.
+    /// `i`) are copied into the side pool and repaired on `i`'s tree
+    /// descendants only; every other row is borrowed from the snapshot
+    /// zero-copy. The pool is retained together with its parents so
+    /// [`Self::note_rewire`] can write the post-removal rows back in
+    /// place on a commit.
     ///
     /// # Panics
     /// Panics when no snapshot is live; callers must `rebuild` first.
-    pub fn residual(&mut self, i: usize) -> &DistanceMatrix {
+    pub fn residual(&mut self, i: usize) -> ResidualView<'_> {
+        let t0 = Instant::now();
         let snap = self.snap.as_ref().expect("route snapshot must be live");
         let n = snap.apsp.n;
-        if self.residual.len() != n {
-            self.residual = DistanceMatrix::filled(n, f64::INFINITY);
+        self.row_slot.clear();
+        self.row_slot.resize(n, NO_SLOT);
+        self.pool_rows.clear();
+        // Source `i` keeps no out-links in `G−i`.
+        self.self_row.clear();
+        match snap.kind {
+            SnapshotKind::Additive => {
+                self.self_row.resize(n, f64::INFINITY);
+                self.self_row[i] = 0.0;
+            }
+            SnapshotKind::Widest => {
+                self.self_row.resize(n, 0.0);
+                self.self_row[i] = f64::INFINITY;
+            }
         }
-        self.residual_parent.resize(n * n, NO_PARENT);
         let iu = i as u32;
         for s in 0..n {
-            let row = self.residual.row_mut(s);
-            let prow = &mut self.residual_parent[s * n..(s + 1) * n];
             if s == i {
-                // Source `i` keeps no out-links in `G−i`.
-                match snap.kind {
-                    SnapshotKind::Additive => {
-                        row.fill(f64::INFINITY);
-                        row[i] = 0.0;
-                    }
-                    SnapshotKind::Widest => {
-                        row.fill(0.0);
-                        row[i] = f64::INFINITY;
-                    }
-                }
-                prow.fill(NO_PARENT);
                 continue;
             }
+            if !snap.apsp.routes_through(s, iu) {
+                self.stats.residual_borrowed += 1;
+                continue;
+            }
+            let slot = self.pool_rows.len();
+            let lo = slot * n;
+            if self.pool_dist.len() < lo + n {
+                self.pool_dist.resize(lo + n, f64::INFINITY);
+                self.pool_parent.resize(lo + n, NO_PARENT);
+            }
+            let row = &mut self.pool_dist[lo..lo + n];
+            let prow = &mut self.pool_parent[lo..lo + n];
             row.copy_from_slice(snap.apsp.dist_row(s));
             prow.copy_from_slice(snap.apsp.parent_row(s));
-            if snap.apsp.routes_through(s, iu) {
-                tree_descendants(
-                    prow,
-                    iu,
-                    &mut self.child_head,
-                    &mut self.child_next,
-                    &mut self.affected,
-                );
-                match snap.kind {
-                    SnapshotKind::Additive => {
-                        self.ws
-                            .repair_removal(&snap.csr, &snap.rev, iu, &self.affected, row, prow)
-                    }
-                    SnapshotKind::Widest => self.ws.repair_removal_widest(
-                        &snap.csr,
-                        &snap.rev,
-                        iu,
-                        &self.affected,
-                        row,
-                        prow,
-                    ),
+            tree_descendants(
+                prow,
+                iu,
+                &mut self.child_head,
+                &mut self.child_next,
+                &mut self.affected,
+            );
+            match snap.kind {
+                SnapshotKind::Additive => {
+                    self.ws
+                        .repair_removal(&snap.csr, &snap.rev, iu, &self.affected, row, prow)
                 }
-                self.stats.residual_swept += 1;
-            } else {
-                self.stats.residual_copied += 1;
+                SnapshotKind::Widest => self.ws.repair_removal_widest(
+                    &snap.csr,
+                    &snap.rev,
+                    iu,
+                    &self.affected,
+                    row,
+                    prow,
+                ),
             }
+            self.row_slot[s] = slot as u32;
+            self.pool_rows.push(s as u32);
+            self.stats.residual_swept += 1;
         }
         self.residual_for = Some(i);
-        &self.residual
+        self.stats.residual_ns += t0.elapsed().as_nanos() as u64;
+        ResidualView::cow(CowResidual {
+            n,
+            node: i,
+            snap: &self.snap.as_ref().expect("still live").apsp.dist,
+            slot: &self.row_slot,
+            pool: &self.pool_dist,
+            self_row: &self.self_row,
+        })
     }
 
     /// Absorb node `i`'s committed re-wiring into the live snapshot, if
     /// any.
     ///
-    /// The fast path reuses the residual state [`Self::residual`] just
-    /// computed for this very turn: the retained `G−i` matrices *are*
-    /// the post-removal distances, so they are swapped in as the new
-    /// all-pairs state and only the inserted out-links of `i` are
-    /// propagated (decrease-only / increase-only repair per source).
+    /// The fast path reuses the residual pool [`Self::residual`] just
+    /// computed for this very turn: the repaired pool rows *are* the
+    /// post-removal distances of every affected source, and every
+    /// unaffected row already equals its post-removal state (its tree
+    /// avoids `i`'s out-links), so the absorb writes the pool rows back
+    /// over their snapshot rows in place and then propagates only the
+    /// inserted out-links of `i` (decrease-only / increase-only repair
+    /// per source). The snapshot CSR is patched on `i`'s out-edge slice
+    /// only; no buffer is reallocated or swapped.
     pub fn note_rewire(&mut self, i: NodeId, old: &[NodeId], wiring: &Wiring, alive: &[bool]) {
         let Some(snap) = self.snap.as_mut() else {
             return;
@@ -254,32 +299,45 @@ impl RouteState {
         if !changed {
             return;
         }
-        // Refresh the CSR topology straight from the wiring (cheap; the
-        // distances are the cost).
-        let announced = &snap.announced;
-        snap.csr = CsrGraph::from_fn(wiring.len(), |u| {
-            let vi = NodeId::from_index(u);
-            let live = alive[u];
-            wiring
-                .of(vi)
-                .iter()
-                .filter(move |w| live && alive[w.index()])
-                .map(move |w| (w.0, announced.get(vi, *w)))
-        });
-        snap.rev = snap.csr.reversed();
+        let t0 = Instant::now();
+        // Patch the CSR topology on node `i`'s slice only — every other
+        // node's adjacency is unchanged since the snapshot was built (or
+        // last patched); churn and external mutation invalidate instead.
+        let new_edges: Vec<(u32, f64)> = if alive[i.index()] {
+            new.iter()
+                .filter(|w| alive[w.index()])
+                .map(|w| (w.0, snap.announced.get(i, *w)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        snap.csr.rewrite_out_edges(i.index(), &new_edges);
+        snap.csr.reverse_into(&mut snap.rev);
         let n = snap.apsp.n;
         let iu = i.0;
-        let new_edges: Vec<(u32, f64)> = new
-            .iter()
-            .filter(|w| alive[w.index()])
-            .map(|w| (w.0, snap.announced.get(i, *w)))
-            .collect();
 
         if self.residual_for == Some(i.index()) {
-            // Adopt the retained `G−i` state, then insert `i`'s new
-            // out-links everywhere.
-            self.residual.swap_raw(&mut snap.apsp.dist);
-            std::mem::swap(&mut snap.apsp.parent, &mut self.residual_parent);
+            // Adopt the retained `G−i` pool: write the post-removal rows
+            // back in place, then insert `i`'s new out-links everywhere.
+            for (slot, &s) in self.pool_rows.iter().enumerate() {
+                let src = slot * n;
+                let dst = s as usize * n;
+                snap.apsp.dist[dst..dst + n].copy_from_slice(&self.pool_dist[src..src + n]);
+                snap.apsp.parent[dst..dst + n].copy_from_slice(&self.pool_parent[src..src + n]);
+            }
+            // Row `i` post-removal: nothing but itself is reachable.
+            let lo = i.index() * n;
+            match snap.kind {
+                SnapshotKind::Additive => {
+                    snap.apsp.dist[lo..lo + n].fill(f64::INFINITY);
+                    snap.apsp.dist[lo + i.index()] = 0.0;
+                }
+                SnapshotKind::Widest => {
+                    snap.apsp.dist[lo..lo + n].fill(0.0);
+                    snap.apsp.dist[lo + i.index()] = f64::INFINITY;
+                }
+            }
+            snap.apsp.parent[lo..lo + n].fill(NO_PARENT);
             self.residual_for = None;
             for s in 0..n {
                 let lo = s * n;
@@ -296,6 +354,7 @@ impl RouteState {
                 );
                 self.stats.rewire_repaired += 1;
             }
+            self.stats.absorb_ns += t0.elapsed().as_nanos() as u64;
             return;
         }
 
@@ -330,6 +389,7 @@ impl RouteState {
             );
             self.stats.rewire_repaired += 1;
         }
+        self.stats.absorb_ns += t0.elapsed().as_nanos() as u64;
     }
 }
 
@@ -439,7 +499,7 @@ mod tests {
                 }
             }
         }
-        assert!(rs.stats.residual_copied > 0, "some rows must be copied");
+        assert!(rs.stats.residual_borrowed > 0, "some rows must be borrowed");
     }
 
     #[test]

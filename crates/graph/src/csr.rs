@@ -28,6 +28,7 @@ use crate::graph::DiGraph;
 use crate::types::{Cost, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// Sentinel for "no parent" in packed parent arrays.
 pub const NO_PARENT: u32 = u32::MAX;
@@ -116,31 +117,66 @@ impl CsrGraph {
     /// The graph with every edge reversed (for "distances to a target"
     /// queries). Reversal is stable: in-edges appear ordered by source.
     pub fn reversed(&self) -> CsrGraph {
+        let mut out = CsrGraph::default();
+        self.reverse_into(&mut out);
+        out
+    }
+
+    /// [`Self::reversed`] into a caller-owned graph, reusing its buffers
+    /// — the route-state engine re-derives the reversal after every
+    /// committed re-wiring, so the allocation would otherwise recur once
+    /// per commit.
+    pub fn reverse_into(&self, out: &mut CsrGraph) {
         let n = self.len();
-        let mut degree = vec![0u32; n + 1];
+        out.offsets.clear();
+        out.offsets.resize(n + 1, 0);
         for &t in &self.targets {
-            degree[t as usize + 1] += 1;
+            out.offsets[t as usize + 1] += 1;
         }
-        let mut offsets = degree;
         for i in 0..n {
-            offsets[i + 1] += offsets[i];
+            out.offsets[i + 1] += out.offsets[i];
         }
-        let mut cursor = offsets.clone();
-        let mut targets = vec![0u32; self.targets.len()];
-        let mut costs = vec![0.0; self.costs.len()];
+        let mut cursor = out.offsets.clone();
+        out.targets.clear();
+        out.targets.resize(self.targets.len(), 0);
+        out.costs.clear();
+        out.costs.resize(self.costs.len(), 0.0);
         for u in 0..n {
             let (ts, cs) = self.out(u);
             for (&t, &c) in ts.iter().zip(cs) {
                 let slot = cursor[t as usize] as usize;
-                targets[slot] = u as u32;
-                costs[slot] = c;
+                out.targets[slot] = u as u32;
+                out.costs[slot] = c;
                 cursor[t as usize] += 1;
             }
         }
-        CsrGraph {
-            offsets,
-            targets,
-            costs,
+    }
+
+    /// Replace node `u`'s out-edge slice with `edges` (adjacency order),
+    /// leaving every other node's slice untouched — the single-node
+    /// counterpart of rebuilding the whole CSR after a re-wiring.
+    ///
+    /// Equal-degree rewrites (the common case under a fixed link budget
+    /// `k`) overwrite the slice in place; degree changes splice the
+    /// backing arrays and shift the downstream offsets. Either way the
+    /// result is identical to a from-scratch build of the same adjacency
+    /// lists.
+    pub fn rewrite_out_edges(&mut self, u: usize, edges: &[(u32, f64)]) {
+        debug_assert!(edges.iter().all(|&(t, _)| t as usize != u), "self loop");
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        if edges.len() == hi - lo {
+            for (slot, &(t, c)) in edges.iter().enumerate() {
+                self.targets[lo + slot] = t;
+                self.costs[lo + slot] = c;
+            }
+            return;
+        }
+        self.targets.splice(lo..hi, edges.iter().map(|&(t, _)| t));
+        self.costs.splice(lo..hi, edges.iter().map(|&(_, c)| c));
+        let delta = edges.len() as i64 - (hi - lo) as i64;
+        for off in &mut self.offsets[u + 1..] {
+            *off = (*off as i64 + delta) as u32;
         }
     }
 }
@@ -635,14 +671,22 @@ impl CsrApsp {
 /// How many worker threads an all-pairs fan-out should use for an
 /// `n`-source sweep: one per available core, never more than the rows,
 /// and none at all for small instances where spawn overhead dominates.
+///
+/// The core count is probed once and cached: `available_parallelism` is
+/// a syscall, and on a single-core host (the common container case) the
+/// answer never changes — every all-pairs pass then takes the inline
+/// no-spawn path below without re-asking the OS.
 fn fanout_threads(n: usize) -> usize {
     if n < 64 {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    cores.min(n)
 }
 
 /// Run `sweep(source, dist_row, parent_row)` for every source, fanning
@@ -1179,6 +1223,58 @@ mod tests {
                 a.dist_row(s)[t as usize].is_finite(),
             );
             assert_eq!(oracle, ported);
+        }
+    }
+
+    #[test]
+    fn rewrite_out_edges_matches_full_rebuild() {
+        let g = scrambled(18, 3);
+        let base = CsrGraph::from_digraph(&g);
+        // Equal-degree rewrite, shrink, grow — each must equal a
+        // from-scratch build of the same adjacency lists.
+        let cases: Vec<(usize, Vec<(u32, f64)>)> = vec![
+            (4, vec![(1, 2.5), (9, 0.5), (17, 7.0)]),
+            (4, vec![(2, 1.0)]),
+            (11, vec![(0, 3.0), (5, 4.0), (6, 5.0), (7, 6.0), (8, 1.5)]),
+            (0, vec![]),
+        ];
+        let mut patched = base.clone();
+        let mut lists: Vec<Vec<(u32, f64)>> = (0..18)
+            .map(|u| {
+                let (ts, cs) = base.out(u);
+                ts.iter().copied().zip(cs.iter().copied()).collect()
+            })
+            .collect();
+        for (u, edges) in cases {
+            patched.rewrite_out_edges(u, &edges);
+            lists[u] = edges;
+            let truth = CsrGraph::from_fn(18, |v| lists[v].clone());
+            assert_eq!(patched.edge_count(), truth.edge_count());
+            for v in 0..18 {
+                let (pt, pc) = patched.out(v);
+                let (tt, tc) = truth.out(v);
+                assert_eq!(pt, tt, "targets diverged at node {v} after {u}");
+                assert_eq!(pc, tc, "costs diverged at node {v} after {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_into_matches_reversed_and_reuses_buffers() {
+        let a = scrambled(20, 4);
+        let b = scrambled(12, 2);
+        let ca = CsrGraph::from_digraph(&a);
+        let cb = CsrGraph::from_digraph(&b);
+        let mut out = CsrGraph::default();
+        // Fill with the larger graph's reversal first, then reuse for
+        // the smaller one — stale capacity must not leak.
+        ca.reverse_into(&mut out);
+        cb.reverse_into(&mut out);
+        let truth = cb.reversed();
+        assert_eq!(out.len(), truth.len());
+        assert_eq!(out.edge_count(), truth.edge_count());
+        for v in 0..out.len() {
+            assert_eq!(out.out(v), truth.out(v), "reversal mismatch at {v}");
         }
     }
 

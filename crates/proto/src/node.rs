@@ -395,7 +395,7 @@ impl<T: Transport> EgoistNode<T> {
                 k,
                 candidates: &candidates,
                 direct: &direct,
-                residual: &residual,
+                residual: egoist_core::ResidualView::dense(&residual),
                 prefs: &prefs,
                 alive: &alive,
                 penalty,

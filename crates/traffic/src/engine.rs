@@ -87,16 +87,21 @@ impl TrafficEngine {
             let rewirings = sim.run_epoch(epoch);
 
             let flows = demand.generate(epoch, sim.alive());
-            let announced = sim.announced_matrix();
+            // Zero-copy read path: borrow the announced matrix from the
+            // live route snapshot when one exists (bit-identical to
+            // recomputing it) instead of materializing a fresh one.
+            let announced = sim.announced_view();
             // Routing is additive shortest-path; under the bandwidth
             // metric announced costs are capacities, so invert them to
             // make fat links cheap.
-            let routing_costs = if cfg.sim.metric == Metric::Bandwidth {
-                DistanceMatrix::from_fn(n, |i, j| 1.0 / (announced.at(i, j) + 1e-6))
+            let inverted;
+            let routing_costs: &DistanceMatrix = if cfg.sim.metric == Metric::Bandwidth {
+                inverted = DistanceMatrix::from_fn(n, |i, j| 1.0 / (announced.at(i, j) + 1e-6));
+                &inverted
             } else {
-                announced
+                &announced
             };
-            let overlay = sim.wiring().to_graph(&routing_costs, sim.alive());
+            let overlay = sim.wiring().to_graph(routing_costs, sim.alive());
             let true_delays = sim.delays().current();
             let node_load: Vec<f64> = (0..n).map(|i| sim.loads().instantaneous(i)).collect();
             let capacity =

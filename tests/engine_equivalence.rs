@@ -185,9 +185,9 @@ fn epoch_engine_actually_takes_the_incremental_paths() {
         stats.rebuilds
     );
     assert!(
-        stats.residual_copied > stats.residual_swept,
-        "most residual rows should be copies: {} copied vs {} swept",
-        stats.residual_copied,
+        stats.residual_borrowed > stats.residual_swept,
+        "most residual rows should be zero-copy borrows: {} borrowed vs {} swept",
+        stats.residual_borrowed,
         stats.residual_swept
     );
     assert!(

@@ -50,7 +50,7 @@ fn sampled_br_stays_close_to_full_br() {
             k,
             candidates,
             direct: &direct,
-            residual: &dist,
+            residual: egoist::core::ResidualView::dense(&dist),
             prefs: &prefs,
             alive: &alive,
             penalty,
