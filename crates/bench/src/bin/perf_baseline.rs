@@ -27,8 +27,19 @@
 //! `solver_ms` / `absorb_ms`), and the engine's copy-vs-sweep ratios
 //! from `RouteStats`.
 //!
+//! Per-phase timings are no longer private plumbing: the engine reports
+//! into the `egoist-obs` registry (spans `core.epoch.turn.{residual,
+//! solver,absorb}`) and this bench reads them back, so BENCH_perf.json
+//! is a *view over the registry*. The registry is reset before each
+//! timed run, making span totals absolute per scenario.
+//!
 //! Usage:
 //!   perf_baseline [--quick] [--out PATH]      # measure and write
+//!     [--metrics-out PATH]  # also dump the obs registry (egoist-obs/v1)
+//!                           # as observed by the final scenario's run
+//!     [--trace]             # flight recorder on; events JSON to stderr
+//!   perf_baseline --overhead-gate             # instrumented-vs-disabled
+//!     wall-time gate on the n=200 scenario (<3% or exit 1)
 //!   perf_baseline --check PATH                # validate schema
 //!   perf_baseline --check PATH --against GOLD # + fingerprint gate:
 //!     every scenario of PATH whose (name, n, k, epochs) also appears in
@@ -43,6 +54,17 @@ use egoist_traffic::json::{array, num, JsonObject};
 use std::time::Instant;
 
 const SCHEMA: &str = "egoist-perf-baseline/v2";
+
+/// Registry spans the per-phase breakdown is sourced from.
+const RESIDUAL_SPAN: &str = "core.epoch.turn.residual";
+const SOLVER_SPAN: &str = "core.epoch.turn.solver";
+const ABSORB_SPAN: &str = "core.epoch.turn.absorb";
+
+/// Total milliseconds accumulated in a registry span.
+fn span_ms(name: &str) -> f64 {
+    let (_count, ns) = egoist_obs::registry().span_value(name);
+    ns as f64 / 1e6
+}
 
 /// `wall_ms` per scenario as committed by the previous PR (schema v1) —
 /// the anchor the new numbers are compared against. Host-specific by
@@ -162,7 +184,10 @@ fn sim_cfg(n: usize, k: usize, epochs: usize, engine: EngineMode) -> SimConfig {
 }
 
 /// Time one full BR epoch-stepping run under `engine`, collecting the
-/// per-phase breakdown (all-zero under `Recompute`).
+/// per-phase breakdown from the obs registry (the residual/absorb spans
+/// only fire under `Epoch`, so they read zero for `Recompute`). The
+/// outer wall clock stays an `Instant`: it must keep ticking when the
+/// `--overhead-gate` runs with instrumentation disabled.
 fn time_sim(
     n: usize,
     k: usize,
@@ -170,6 +195,7 @@ fn time_sim(
     engine: EngineMode,
 ) -> (f64, SimResult, PhaseBreakdown) {
     let cfg = sim_cfg(n, k, epochs, engine);
+    egoist_obs::registry().reset();
     let t = Instant::now();
     let mut sim = Simulator::new(cfg.clone());
     let mut samples = Vec::with_capacity(cfg.epochs);
@@ -178,11 +204,10 @@ fn time_sim(
         samples.push(sim.measure(epoch, rewirings));
     }
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    let (residual_ns, solver_ns, absorb_ns) = sim.phase_ns();
     let phases = PhaseBreakdown {
-        residual_ms: residual_ns as f64 / 1e6,
-        solver_ms: solver_ns as f64 / 1e6,
-        absorb_ms: absorb_ns as f64 / 1e6,
+        residual_ms: span_ms(RESIDUAL_SPAN),
+        solver_ms: span_ms(SOLVER_SPAN),
+        absorb_ms: span_ms(ABSORB_SPAN),
         stats: sim.route_stats(),
     };
     let result = SimResult {
@@ -224,10 +249,12 @@ fn traffic_scenario(n: usize, k: usize, epochs: usize) -> ScenarioResult {
         cfg
     };
     eprintln!("# br_traffic_n{n}: oracle (Recompute) ...");
+    egoist_obs::registry().reset();
     let t = Instant::now();
     let oracle = TrafficEngine::run(&base(EngineMode::Recompute)).to_json();
     let baseline_ms = t.elapsed().as_secs_f64() * 1e3;
     eprintln!("#   {baseline_ms:.0} ms; epoch engine ...");
+    egoist_obs::registry().reset();
     let t = Instant::now();
     let fast_report = TrafficEngine::run(&base(EngineMode::Epoch));
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -426,8 +453,60 @@ fn check_against(path: &str, golden: &str) -> Result<usize, String> {
     Ok(compared)
 }
 
+/// The CI overhead gate: the epoch engine's n=200 scenario, wall-timed
+/// with instrumentation off and on (min of `reps` each, one warmup),
+/// must agree within 3%. Guards the "zero cost when disabled" claim —
+/// every instrument's fast path is one relaxed load, so the enabled run
+/// is the only one paying `Instant::now()` and atomic adds.
+fn overhead_gate() -> Result<String, String> {
+    let reps = 3;
+    let run = || {
+        let cfg = sim_cfg(200, 8, 2, EngineMode::Epoch);
+        let t = Instant::now();
+        let mut sim = Simulator::new(cfg.clone());
+        for epoch in 0..cfg.epochs {
+            let rewirings = sim.run_epoch(epoch);
+            std::hint::black_box(sim.measure(epoch, rewirings));
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    // Interleave the arms so clock-frequency drift, page-cache warmup
+    // and allocator state hit both equally; min-of-reps per arm.
+    egoist_obs::disable();
+    run(); // warmup
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        egoist_obs::disable();
+        off = off.min(run());
+        egoist_obs::enable();
+        egoist_obs::registry().reset();
+        on = on.min(run());
+    }
+    egoist_obs::disable();
+    let rel = (on - off) / off;
+    let line = format!(
+        "overhead gate: disabled {off:.1} ms, instrumented {on:.1} ms ({:+.2}%)",
+        rel * 100.0
+    );
+    if rel > 0.03 {
+        Err(format!("{line} — exceeds the 3% budget"))
+    } else {
+        Ok(line)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--overhead-gate") {
+        match overhead_gate() {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--check") {
         let path = args
             .get(pos + 1)
@@ -464,14 +543,32 @@ fn main() {
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
+    let trace = args.iter().any(|a| a == "--trace");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|p| args.get(p + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
+    egoist_obs::enable();
+    if trace {
+        egoist_obs::enable_trace();
+    }
     let doc = measure(quick);
     std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_perf.json");
     println!("{doc}");
+    if let Some(mpath) = metrics_out {
+        let snapshot = egoist_obs::registry().to_json();
+        std::fs::write(&mpath, format!("{snapshot}\n")).expect("write metrics");
+        eprintln!("# metrics -> {mpath}");
+    }
+    if trace {
+        eprintln!("{}", egoist_obs::registry().events_to_json());
+    }
     check(&out).expect("self-written document must validate");
 }

@@ -12,6 +12,11 @@
 //! induces*.
 //!
 //! Honors `EGOIST_FAST=1`, `EGOIST_SEEDS`, `EGOIST_EPOCHS`.
+//!
+//! Flags: `--metrics-out PATH` dumps the obs registry (egoist-obs/v1,
+//! all runs accumulated — flow latency/stretch/utilization histograms,
+//! router counters, epoch spans) after the sweep; `--trace` turns the
+//! flight recorder on and echoes its events JSON to stderr.
 
 use egoist_bench::{epochs, seeds, warmup};
 use egoist_core::policies::PolicyKind;
@@ -21,6 +26,19 @@ use egoist_traffic::engine::{TrafficConfig, TrafficEngine};
 use egoist_traffic::json::{array, JsonObject};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|p| args.get(p + 1))
+        .cloned();
+    let trace = args.iter().any(|a| a == "--trace");
+    if metrics_out.is_some() || trace {
+        egoist_obs::enable();
+    }
+    if trace {
+        egoist_obs::enable_trace();
+    }
     let n = 32;
     let k = 4;
     let policies = [
@@ -98,4 +116,13 @@ fn main() {
         workloads.len(),
         seeds().len()
     );
+
+    if let Some(mpath) = metrics_out {
+        let snapshot = egoist_obs::registry().to_json();
+        std::fs::write(&mpath, format!("{snapshot}\n")).expect("write metrics");
+        eprintln!("# metrics -> {mpath}");
+    }
+    if trace {
+        eprintln!("{}", egoist_obs::registry().events_to_json());
+    }
 }

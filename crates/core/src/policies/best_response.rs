@@ -16,6 +16,35 @@
 use super::{Policy, WiringContext};
 use egoist_graph::NodeId;
 use rand::rngs::StdRng;
+use std::sync::OnceLock;
+
+/// Obs counters for the optimized solve paths. All are pure functions
+/// of the instance (no wall clock, no RNG), so they are identical
+/// across runs of the same seed. Hot loops accumulate into locals and
+/// flush with one atomic add per `greedy`/`local_search` call.
+struct BrObs {
+    scanned: egoist_obs::Counter,
+    bound_rejects: egoist_obs::Counter,
+    prefilter_rejects: egoist_obs::Counter,
+    exact_evals: egoist_obs::Counter,
+    eval_aborts: egoist_obs::Counter,
+    rounds: egoist_obs::Counter,
+}
+
+fn br_obs() -> &'static BrObs {
+    static OBS: OnceLock<BrObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        BrObs {
+            scanned: r.counter("core.solver.candidates_scanned"),
+            bound_rejects: r.counter("core.solver.gain_bound_rejects"),
+            prefilter_rejects: r.counter("core.solver.prefilter_rejects"),
+            exact_evals: r.counter("core.solver.exact_evals"),
+            eval_aborts: r.counter("core.solver.eval_aborts"),
+            rounds: r.counter("core.solver.rounds"),
+        }
+    })
+}
 
 /// Reusable backing storage for [`BrInstance`] — the assignment matrix
 /// is `|cand| × |dests|` (≈ n² on full candidate pools), so allocating
@@ -231,16 +260,21 @@ impl BrInstance {
                 *b = b.min(self.a(c, t));
             }
         }
+        let (mut scanned, mut prefilter_rejects, mut exact_evals, mut eval_aborts) =
+            (0u64, 0u64, 0u64, 0u64);
         while chosen.len() < k.min(self.cand.len()) {
             let mut pick = None;
             let mut pick_cost = f64::INFINITY;
             for (c, _) in in_chosen.iter().enumerate().filter(|(_, &taken)| !taken) {
+                scanned += 1;
                 if pick_cost.is_finite() {
                     let approx = self.approx_capped_cost(c, &best_per_dest);
                     if approx - 1e-9 * (approx + 1.0) >= pick_cost {
+                        prefilter_rejects += 1;
                         continue; // provably cannot strictly win
                     }
                 }
+                exact_evals += 1;
                 let mut cost = 0.0;
                 let mut aborted = false;
                 for (t, (&w, &best)) in self.weight.iter().zip(best_per_dest.iter()).enumerate() {
@@ -250,7 +284,9 @@ impl BrInstance {
                         break;
                     }
                 }
-                if !aborted && cost < pick_cost {
+                if aborted {
+                    eval_aborts += 1;
+                } else if cost < pick_cost {
                     pick_cost = cost;
                     pick = Some(c);
                 }
@@ -262,6 +298,11 @@ impl BrInstance {
                 *b = b.min(self.a(c, t));
             }
         }
+        let obs = br_obs();
+        obs.scanned.add(scanned);
+        obs.prefilter_rejects.add(prefilter_rejects);
+        obs.exact_evals.add(exact_evals);
+        obs.eval_aborts.add(eval_aborts);
         chosen
     }
 
@@ -365,8 +406,11 @@ impl BrInstance {
         // Candidate freed by the previous round's swap (its bound is
         // stale since it sat inside the subset).
         let mut freed: Option<usize> = None;
+        let (mut rounds, mut scanned, mut bound_rejects) = (0u64, 0u64, 0u64);
+        let (mut prefilter_rejects, mut exact_evals, mut eval_aborts) = (0u64, 0u64, 0u64);
 
         for _ in 0..max_rounds {
+            rounds += 1;
             // best1/best2 assignment per destination.
             let mut b1 = vec![(self.penalty, usize::MAX); nd]; // (cost, cand)
             let mut b2 = vec![self.penalty; nd];
@@ -444,6 +488,7 @@ impl BrInstance {
                     if in_subset[inn] {
                         continue;
                     }
+                    scanned += 1;
                     let threshold = match best_swap {
                         Some((_, _, c)) => c.min(cost - 1e-12),
                         None => cost - 1e-12,
@@ -453,12 +498,15 @@ impl BrInstance {
                     // everything that is not a near-tie.
                     let margin = 1e-9 * (base + gain_bound[inn] + 1.0);
                     if base - gain_bound[inn] >= threshold + margin {
+                        bound_rejects += 1;
                         continue;
                     }
                     let approx = self.approx_capped_cost(inn, &surviving);
                     if approx - 1e-9 * (approx + 1.0) >= threshold {
+                        prefilter_rejects += 1;
                         continue; // the exact eval would have aborted
                     }
+                    exact_evals += 1;
                     let mut new_cost = 0.0;
                     let mut aborted = false;
                     for (t, (&w, &surv)) in self.weight.iter().zip(surviving.iter()).enumerate() {
@@ -467,6 +515,9 @@ impl BrInstance {
                             aborted = true;
                             break;
                         }
+                    }
+                    if aborted {
+                        eval_aborts += 1;
                     }
                     if !aborted
                         && new_cost < cost - 1e-12
@@ -488,6 +539,13 @@ impl BrInstance {
                 None => break,
             }
         }
+        let obs = br_obs();
+        obs.rounds.add(rounds);
+        obs.scanned.add(scanned);
+        obs.bound_rejects.add(bound_rejects);
+        obs.prefilter_rejects.add(prefilter_rejects);
+        obs.exact_evals.add(exact_evals);
+        obs.eval_aborts.add(eval_aborts);
         (subset, cost)
     }
 

@@ -39,7 +39,6 @@ use egoist_netsim::rng::derive;
 use egoist_netsim::{BandwidthModel, DelayModel, LoadModel};
 use rand::rngs::StdRng;
 use std::borrow::Cow;
-use std::time::Instant;
 
 /// Which cost metric drives wiring and evaluation (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -217,8 +216,35 @@ pub struct Simulator {
     pending_join: Vec<bool>,
     /// The epoch route-state engine (snapshot + incremental repair).
     route_state: RouteState,
-    /// Wall time spent inside policy solvers (ns; epoch engine only).
-    solver_ns: u64,
+    /// Obs handles (spans + counters), resolved once per simulator.
+    obs: SimObs,
+}
+
+/// Simulator-level obs handles. Span hierarchy (by dotted name):
+/// `core.epoch` → `core.epoch.turn` → `core.epoch.turn.solver` (plus
+/// the `residual`/`absorb` siblings recorded by [`RouteState`]), with
+/// `core.measure` beside the epoch loop.
+struct SimObs {
+    epoch: egoist_obs::Timer,
+    turn: egoist_obs::Timer,
+    solver: egoist_obs::Timer,
+    measure: egoist_obs::Timer,
+    rewirings: egoist_obs::Counter,
+    turns: egoist_obs::Counter,
+}
+
+impl SimObs {
+    fn resolve() -> Self {
+        let r = egoist_obs::registry();
+        SimObs {
+            epoch: r.timer("core.epoch"),
+            turn: r.timer("core.epoch.turn"),
+            solver: r.timer("core.epoch.turn.solver"),
+            measure: r.timer("core.measure"),
+            rewirings: r.counter("core.rewirings"),
+            turns: r.counter("core.turns"),
+        }
+    }
 }
 
 impl Simulator {
@@ -260,7 +286,7 @@ impl Simulator {
             churn_cursor: 0,
             pending_join: vec![false; n],
             route_state: RouteState::new(),
-            solver_ns: 0,
+            obs: SimObs::resolve(),
             delays,
             cfg,
         }
@@ -500,9 +526,9 @@ impl Simulator {
             penalty,
             current: &current,
         };
-        let t0 = Instant::now();
+        let span = self.obs.solver.start();
         let new = self.policy.wire(&ctx, &mut self.policy_rng);
-        self.solver_ns += t0.elapsed().as_nanos() as u64;
+        drop(span);
         let changed = self.wiring.rewire(i, new);
         if changed {
             self.route_state
@@ -546,9 +572,9 @@ impl Simulator {
                         prefs: &self.prefs,
                         alive: &self.alive,
                     };
-                    let t0 = Instant::now();
+                    let span = self.obs.solver.start();
                     let picked = bandwidth_best_response(&ctx).0;
-                    self.solver_ns += t0.elapsed().as_nanos() as u64;
+                    drop(span);
                     picked
                 }
             }
@@ -632,6 +658,7 @@ impl Simulator {
 
     /// Take the per-epoch measurement.
     pub fn measure(&self, epoch: usize, rewirings: usize) -> EpochSample {
+        let _span = self.obs.measure.start();
         let n = self.cfg.n;
         let alive_ids = self.alive_ids();
         let announced = self.announced_cow();
@@ -711,9 +738,15 @@ impl Simulator {
     /// the congestion the overlay itself induced, and the next epoch's
     /// announcements (EWMA load, probes) react to it.
     pub fn run_epoch(&mut self, epoch: usize) -> usize {
+        // Clone the handles so the span guards borrow locals, not
+        // `self` (the loop body calls `&mut self` methods).
+        let epoch_timer = self.obs.epoch.clone();
+        let turn_timer = self.obs.turn.clone();
+        let _epoch_span = epoch_timer.start();
         let n = self.cfg.n;
         let t_epoch = self.cfg.epoch_secs;
         let mut rewirings = 0usize;
+        let mut turns = 0u64;
         for turn in 0..n {
             let t = epoch as f64 * t_epoch + (turn as f64 / n as f64) * t_epoch;
             self.apply_churn(t);
@@ -735,11 +768,25 @@ impl Simulator {
             let i = NodeId::from_index(turn);
             // Nodes that churned ON re-wire immediately at their first
             // turn; others follow the delayed (epochal) schedule.
-            if self.alive[turn] && self.rewire(i) {
-                rewirings += 1;
+            if self.alive[turn] {
+                let turn_span = turn_timer.start();
+                if self.rewire(i) {
+                    rewirings += 1;
+                    egoist_obs::event(
+                        "core.rewire",
+                        &[
+                            ("epoch", (epoch as u64).into()),
+                            ("node", (turn as u64).into()),
+                        ],
+                    );
+                }
+                drop(turn_span);
+                turns += 1;
             }
         }
         self.enforce_cycle_if_needed();
+        self.obs.turns.add(turns);
+        self.obs.rewirings.add(rewirings as u64);
         rewirings
     }
 
@@ -844,17 +891,6 @@ impl Simulator {
     /// [`EngineMode::Recompute`]).
     pub fn route_stats(&self) -> RouteStats {
         self.route_state.stats
-    }
-
-    /// Per-phase wall time of the epoch engine in nanoseconds:
-    /// `(residual-view derivation, policy solver, rewire absorb)`.
-    /// All zero under [`EngineMode::Recompute`].
-    pub fn phase_ns(&self) -> (u64, u64, u64) {
-        (
-            self.route_state.stats.residual_ns,
-            self.solver_ns,
-            self.route_state.stats.absorb_ns,
-        )
     }
 }
 

@@ -45,7 +45,6 @@ use crate::residual::{CowResidual, ResidualView, NO_SLOT};
 use crate::wiring::Wiring;
 use egoist_graph::csr::{tree_descendants, NO_PARENT};
 use egoist_graph::{CsrApsp, CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId};
-use std::time::Instant;
 
 /// Which path semiring the snapshot's all-pairs state uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,10 +88,35 @@ pub struct RouteStats {
     pub rewire_swept: usize,
     /// Post-rewiring rows absorbed by decrease/increase repair.
     pub rewire_repaired: usize,
-    /// Wall time spent deriving residual views (ns).
-    pub residual_ns: u64,
-    /// Wall time spent absorbing committed re-wirings (ns).
-    pub absorb_ns: u64,
+}
+
+/// Obs handles for the engine, resolved once per [`RouteState`].
+/// Wall time goes to the `core.epoch.turn.{residual,absorb}` spans;
+/// the work counters mirror [`RouteStats`] into the global registry
+/// (batched — one atomic add per `residual`/`note_rewire` call).
+struct RouteObs {
+    residual: egoist_obs::Timer,
+    absorb: egoist_obs::Timer,
+    rebuilds: egoist_obs::Counter,
+    residual_borrowed: egoist_obs::Counter,
+    residual_swept: egoist_obs::Counter,
+    rewire_swept: egoist_obs::Counter,
+    rewire_repaired: egoist_obs::Counter,
+}
+
+impl RouteObs {
+    fn resolve() -> Self {
+        let r = egoist_obs::registry();
+        RouteObs {
+            residual: r.timer("core.epoch.turn.residual"),
+            absorb: r.timer("core.epoch.turn.absorb"),
+            rebuilds: r.counter("core.route.rebuilds"),
+            residual_borrowed: r.counter("core.route.residual_borrowed"),
+            residual_swept: r.counter("core.route.residual_swept"),
+            rewire_swept: r.counter("core.route.rewire_swept"),
+            rewire_repaired: r.counter("core.route.rewire_repaired"),
+        }
+    }
 }
 
 /// The engine: an optional live snapshot plus reusable scratch arenas.
@@ -118,6 +142,7 @@ pub struct RouteState {
     child_next: Vec<u32>,
     affected: Vec<u32>,
     pub stats: RouteStats,
+    obs: RouteObs,
 }
 
 impl RouteState {
@@ -136,6 +161,7 @@ impl RouteState {
             child_next: Vec::new(),
             affected: Vec::new(),
             stats: RouteStats::default(),
+            obs: RouteObs::resolve(),
         }
     }
 
@@ -172,6 +198,7 @@ impl RouteState {
             SnapshotKind::Widest => egoist_graph::csr::widest_csr(&csr),
         };
         self.stats.rebuilds += 1;
+        self.obs.rebuilds.inc();
         self.residual_for = None;
         self.snap = Some(EpochSnapshot {
             kind,
@@ -198,7 +225,8 @@ impl RouteState {
     /// # Panics
     /// Panics when no snapshot is live; callers must `rebuild` first.
     pub fn residual(&mut self, i: usize) -> ResidualView<'_> {
-        let t0 = Instant::now();
+        let span = self.obs.residual.start();
+        let (borrowed0, swept0) = (self.stats.residual_borrowed, self.stats.residual_swept);
         let snap = self.snap.as_ref().expect("route snapshot must be live");
         let n = snap.apsp.n;
         self.row_slot.clear();
@@ -261,7 +289,13 @@ impl RouteState {
             self.stats.residual_swept += 1;
         }
         self.residual_for = Some(i);
-        self.stats.residual_ns += t0.elapsed().as_nanos() as u64;
+        self.obs
+            .residual_borrowed
+            .add((self.stats.residual_borrowed - borrowed0) as u64);
+        self.obs
+            .residual_swept
+            .add((self.stats.residual_swept - swept0) as u64);
+        drop(span);
         ResidualView::cow(CowResidual {
             n,
             node: i,
@@ -299,7 +333,8 @@ impl RouteState {
         if !changed {
             return;
         }
-        let t0 = Instant::now();
+        let span = self.obs.absorb.start();
+        let (swept0, repaired0) = (self.stats.rewire_swept, self.stats.rewire_repaired);
         // Patch the CSR topology on node `i`'s slice only — every other
         // node's adjacency is unchanged since the snapshot was built (or
         // last patched); churn and external mutation invalidate instead.
@@ -354,7 +389,8 @@ impl RouteState {
                 );
                 self.stats.rewire_repaired += 1;
             }
-            self.stats.absorb_ns += t0.elapsed().as_nanos() as u64;
+            self.flush_rewire_obs(swept0, repaired0);
+            drop(span);
             return;
         }
 
@@ -389,7 +425,17 @@ impl RouteState {
             );
             self.stats.rewire_repaired += 1;
         }
-        self.stats.absorb_ns += t0.elapsed().as_nanos() as u64;
+        self.flush_rewire_obs(swept0, repaired0);
+        drop(span);
+    }
+
+    fn flush_rewire_obs(&self, swept0: usize, repaired0: usize) {
+        self.obs
+            .rewire_swept
+            .add((self.stats.rewire_swept - swept0) as u64);
+        self.obs
+            .rewire_repaired
+            .add((self.stats.rewire_repaired - repaired0) as u64);
     }
 }
 

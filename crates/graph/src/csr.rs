@@ -385,6 +385,7 @@ impl DijkstraWorkspace {
         dist: &mut [f64],
         parent: &mut [u32],
     ) {
+        csr_obs().insertion_repairs.inc();
         self.heap.clear();
         for &(node, cand, par) in seeds {
             let v = node as usize;
@@ -439,6 +440,7 @@ impl DijkstraWorkspace {
         dist: &mut [f64],
         parent: &mut [u32],
     ) {
+        csr_obs().removal_repairs.inc();
         let n = g.len();
         self.flag.resize(n, false);
         self.heap.clear();
@@ -510,6 +512,7 @@ impl DijkstraWorkspace {
         width: &mut [f64],
         parent: &mut [u32],
     ) {
+        csr_obs().removal_repairs.inc();
         let n = g.len();
         self.flag.resize(n, false);
         self.max_heap.clear();
@@ -568,6 +571,7 @@ impl DijkstraWorkspace {
         width: &mut [f64],
         parent: &mut [u32],
     ) {
+        csr_obs().insertion_repairs.inc();
         self.max_heap.clear();
         for &(node, cand, par) in seeds {
             let v = node as usize;
@@ -741,10 +745,39 @@ fn all_pairs_fanout(
     });
 }
 
+/// Obs handles for the CSR all-pairs machinery, resolved lazily once.
+/// Builds get spans (they are the expensive, once-per-epoch-state
+/// operation); the per-row repairs are far too hot for timestamps and
+/// get plain counters instead.
+struct CsrObs {
+    apsp_build: egoist_obs::Timer,
+    widest_build: egoist_obs::Timer,
+    sources: egoist_obs::Counter,
+    removal_repairs: egoist_obs::Counter,
+    insertion_repairs: egoist_obs::Counter,
+}
+
+fn csr_obs() -> &'static CsrObs {
+    static OBS: std::sync::OnceLock<CsrObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        CsrObs {
+            apsp_build: r.timer("graph.apsp.build"),
+            widest_build: r.timer("graph.widest.build"),
+            sources: r.counter("graph.apsp.sources"),
+            removal_repairs: r.counter("graph.repair.removal"),
+            insertion_repairs: r.counter("graph.repair.insertion"),
+        }
+    })
+}
+
 /// All-pairs shortest paths over a CSR graph with parent tracking.
 /// Distances equal [`crate::apsp::apsp`] bit-for-bit.
 pub fn apsp_csr(g: &CsrGraph) -> CsrApsp {
+    let obs = csr_obs();
+    let _span = obs.apsp_build.start();
     let n = g.len();
+    obs.sources.add(n as u64);
     let mut dist = vec![f64::INFINITY; n * n];
     let mut parent = vec![NO_PARENT; n * n];
     all_pairs_fanout(n, &mut dist, &mut parent, |ws, s, d, p| {
@@ -757,7 +790,10 @@ pub fn apsp_csr(g: &CsrGraph) -> CsrApsp {
 /// layer's dense widest matrix convention: diagonal `INFINITY`,
 /// unreachable 0.
 pub fn widest_csr(g: &CsrGraph) -> CsrApsp {
+    let obs = csr_obs();
+    let _span = obs.widest_build.start();
     let n = g.len();
+    obs.sources.add(n as u64);
     let mut width = vec![0.0; n * n];
     let mut parent = vec![NO_PARENT; n * n];
     all_pairs_fanout(n, &mut width, &mut parent, |ws, s, w, p| {

@@ -1,0 +1,101 @@
+//! Monotonic counters.
+//!
+//! A [`Counter`] is a clone-cheap handle onto a shared atomic cell.
+//! Handles are resolved once (at component construction) and the hot
+//! path is a relaxed load + add. Code inside tight loops should batch
+//! into a local `u64` and flush with one [`Counter::add`] per solve /
+//! per call — the solver counters do exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+}
+
+impl CounterCell {
+    pub(crate) fn load(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handle onto a registered (or detached) monotonic counter.
+#[derive(Clone)]
+pub struct Counter {
+    pub(crate) cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry — used in tests and as a
+    /// do-nothing default.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(CounterCell::default()),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<CounterCell>) -> Self {
+        Counter { cell }
+    }
+
+    /// Add `n`; no-op while instrumentation is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::is_enabled() && n > 0 {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_adds_accumulate() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let c = Counter::detached();
+        let mut local = 0u64;
+        for i in 0..100u64 {
+            local += i % 3;
+        }
+        c.add(local);
+        assert_eq!(c.get(), (0..100u64).map(|i| i % 3).sum::<u64>());
+        crate::disable();
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let a = Counter::detached();
+        let b = a.clone();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        crate::disable();
+    }
+}

@@ -1,0 +1,234 @@
+//! Snapshot exporters: deterministic JSON and Prometheus text.
+//!
+//! Both walk the registry's `BTreeMap`s, so field order is sorted name
+//! order and two exports of the same state are byte-identical. The
+//! only nondeterministic values in an export are span `total_ns` (wall
+//! clock) — everything else is a pure function of the simulation, which
+//! is what lets CI schema-check the document and tests diff the
+//! deterministic subset.
+//!
+//! The crate is zero-dependency, so this module carries its own tiny
+//! JSON string/number formatters (same conventions as the traffic
+//! report writer: shortest-roundtrip floats, non-finite → `null`).
+
+use crate::histogram::{upper_edge, HistogramSnapshot};
+use crate::recorder::FieldValue;
+use crate::registry::Registry;
+
+/// Schema tag stamped into every JSON export.
+pub const JSON_SCHEMA: &str = "egoist-obs/v1";
+
+/// Escape and quote a JSON string.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number; non-finite values become `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn hist_json(s: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = s
+        .buckets
+        .iter()
+        .map(|&(idx, c)| format!("[{},{}]", jnum(upper_edge(idx)), c))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+        s.count,
+        jnum(s.sum()),
+        jnum(s.quantile(0.5)),
+        jnum(s.quantile(0.9)),
+        jnum(s.quantile(0.99)),
+        buckets.join(",")
+    )
+}
+
+impl Registry {
+    /// The full registry as one deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters_sorted()
+            .into_iter()
+            .map(|(k, v)| format!("{}:{}", jstr(&k), v))
+            .collect();
+        let spans: Vec<String> = self
+            .spans_sorted()
+            .into_iter()
+            .map(|(k, c, ns)| format!("{}:{{\"count\":{c},\"total_ns\":{ns}}}", jstr(&k)))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms_sorted()
+            .into_iter()
+            .map(|(k, s)| format!("{}:{}", jstr(&k), hist_json(&s)))
+            .collect();
+        format!(
+            "{{\"schema\":{},\"counters\":{{{}}},\"spans\":{{{}}},\"histograms\":{{{}}}}}",
+            jstr(JSON_SCHEMA),
+            counters.join(","),
+            spans.join(","),
+            hists.join(",")
+        )
+    }
+
+    /// The flight-recorder ring as a JSON document (oldest first).
+    pub fn events_to_json(&self) -> String {
+        let events = self.events();
+        let dropped = self.events_recorded() - events.len() as u64;
+        let items: Vec<String> = events
+            .iter()
+            .map(|e| {
+                let fields: Vec<String> = e
+                    .fields
+                    .iter()
+                    .map(|(k, v)| {
+                        let val = match v {
+                            FieldValue::U64(x) => x.to_string(),
+                            FieldValue::I64(x) => x.to_string(),
+                            FieldValue::F64(x) => jnum(*x),
+                            FieldValue::Str(s) => jstr(s),
+                        };
+                        format!("{}:{}", jstr(k), val)
+                    })
+                    .collect();
+                format!(
+                    "{{\"seq\":{},\"t_ns\":{},\"name\":{},\"fields\":{{{}}}}}",
+                    e.seq,
+                    e.t_ns,
+                    jstr(e.name),
+                    fields.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"egoist-obs-events/v1\",\"dropped\":{},\"events\":[{}]}}",
+            dropped,
+            items.join(",")
+        )
+    }
+
+    /// Prometheus text exposition format (metric names are the dotted
+    /// registry names with `egoist_` prefixed and dots flattened).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters_sorted() {
+            let m = promname(&name);
+            out.push_str(&format!("# TYPE {m}_total counter\n{m}_total {v}\n"));
+        }
+        for (name, count, total_ns) in self.spans_sorted() {
+            let m = promname(&name);
+            out.push_str(&format!(
+                "# TYPE {m}_spans_total counter\n{m}_spans_total {count}\n"
+            ));
+            out.push_str(&format!(
+                "# TYPE {m}_ns_total counter\n{m}_ns_total {total_ns}\n"
+            ));
+        }
+        for (name, s) in self.histograms_sorted() {
+            let m = promname(&name);
+            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let mut cum = 0u64;
+            for &(idx, c) in &s.buckets {
+                cum += c;
+                let le = upper_edge(idx);
+                if le.is_finite() {
+                    out.push_str(&format!("{m}_bucket{{le=\"{le:?}\"}} {cum}\n"));
+                }
+            }
+            out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+            out.push_str(&format!("{m}_sum {:?}\n", s.sum()));
+            out.push_str(&format!("{m}_count {}\n", s.count));
+        }
+        out
+    }
+}
+
+/// Flatten a dotted instrument name into a Prometheus metric name.
+fn promname(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("egoist_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::registry;
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        registry().counter("test.export.b").add(2);
+        registry().counter("test.export.a").add(1);
+        let j1 = registry().to_json();
+        let j2 = registry().to_json();
+        assert_eq!(j1, j2);
+        let ia = j1.find("test.export.a").unwrap();
+        let ib = j1.find("test.export.b").unwrap();
+        assert!(ia < ib, "sorted name order");
+        assert!(j1.starts_with("{\"schema\":\"egoist-obs/v1\""));
+        crate::disable();
+    }
+
+    #[test]
+    fn prometheus_has_counter_and_histogram_families() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        registry().counter("test.prom.count").add(7);
+        let h = registry().histogram("test.prom.lat");
+        h.observe(1.0);
+        h.observe(3.0);
+        let text = registry().to_prometheus();
+        assert!(text.contains("# TYPE egoist_test_prom_count_total counter"));
+        assert!(text.contains("egoist_test_prom_count_total 7"));
+        assert!(text.contains("# TYPE egoist_test_prom_lat histogram"));
+        assert!(text.contains("egoist_test_prom_lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("egoist_test_prom_lat_count 2"));
+        crate::disable();
+    }
+
+    #[test]
+    fn events_json_reports_drops() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        crate::enable_trace();
+        registry().reset();
+        registry().set_recorder_capacity(2);
+        for i in 0..4u64 {
+            crate::event_at(i, "test.ev", &[("i", FieldValue::U64(i))]);
+        }
+        let j = registry().events_to_json();
+        assert!(j.contains("\"dropped\":2"), "{j}");
+        assert!(j.contains("\"seq\":3"));
+        registry().set_recorder_capacity(1024);
+        crate::disable_trace();
+        crate::disable();
+    }
+}

@@ -1,0 +1,348 @@
+//! Log-linear-bucket histograms with deterministic merge.
+//!
+//! Layout (HdrHistogram-style, fixed at compile time):
+//!
+//! * bucket 0 holds everything ≤ 0 (and NaN);
+//! * buckets 1.. cover `[2^MIN_EXP, 2^(MAX_EXP+1))` in octaves of
+//!   [`SUB`] linear sub-buckets each — ≤ 12.5% relative width;
+//! * values below `2^MIN_EXP` clamp into the first positive bucket
+//!   (whose lower edge is therefore 0), values at or above
+//!   `2^(MAX_EXP+1)` (and `+∞`) clamp into the last (upper edge `+∞`).
+//!
+//! Bucket indexing is pure bit arithmetic on the IEEE-754
+//! representation — no `log2`, no rounding ambiguity — so the same
+//! observation always lands in the same bucket on every platform.
+//!
+//! Determinism: the histogram stores only bucket counts (`u64`), a
+//! total count, and a fixed-point micro-unit sum. Merging two
+//! snapshots adds counts element-wise, which is associative and
+//! commutative — the property the proptests pin. Quantile estimates
+//! return the containing bucket's upper edge and are therefore always
+//! bounded by the bucket edges around the true rank value.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per octave (power of two; `SUB = 1 << SUB_BITS`).
+pub const SUB: usize = 8;
+const SUB_BITS: u32 = 3;
+/// Lowest octave: values below `2^MIN_EXP` clamp to the first bucket.
+pub const MIN_EXP: i32 = -20;
+/// Highest octave: values at/above `2^(MAX_EXP+1)` clamp to the last.
+pub const MAX_EXP: i32 = 40;
+/// Total bucket count including the ≤0 bucket.
+pub const NUM_BUCKETS: usize = 1 + (MAX_EXP - MIN_EXP + 1) as usize * SUB;
+
+/// Map a value onto its bucket index. Total: NaN and `v ≤ 0` → 0.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i32 - 1023; // subnormals → -1023
+    if e < MIN_EXP {
+        return 1;
+    }
+    if e > MAX_EXP {
+        return NUM_BUCKETS - 1; // includes +inf (e = 1024)
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    1 + (e - MIN_EXP) as usize * SUB + sub
+}
+
+/// Exclusive upper edge of bucket `idx` (`0.0` for the ≤0 bucket,
+/// `+∞` for the last).
+pub fn upper_edge(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    if idx >= NUM_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let b = idx - 1;
+    let e = MIN_EXP + (b / SUB) as i32;
+    let sub = (b % SUB) as f64;
+    exp2(e) * (1.0 + (sub + 1.0) / SUB as f64)
+}
+
+/// Inclusive lower edge of bucket `idx` (`-∞` for the ≤0 bucket; the
+/// first positive bucket's lower edge is 0 because sub-`2^MIN_EXP`
+/// values clamp into it).
+pub fn lower_edge(idx: usize) -> f64 {
+    match idx {
+        0 => f64::NEG_INFINITY,
+        1 => 0.0,
+        _ => upper_edge(idx - 1),
+    }
+}
+
+fn exp2(e: i32) -> f64 {
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+pub(crate) struct HistCell {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicI64,
+}
+
+impl HistCell {
+    pub(crate) fn new() -> Self {
+        HistCell {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicI64::new(0),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Handle onto a registered (or detached) histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram {
+            cell: Arc::new(HistCell::new()),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<HistCell>) -> Self {
+        Histogram { cell }
+    }
+
+    /// Record one observation; no-op while instrumentation is disabled.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if !crate::is_enabled() {
+            return;
+        }
+        let idx = bucket_index(v);
+        self.cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        // Fixed-point micro-units keep the sum deterministic and its
+        // merge associative (`as` casts saturate, NaN casts to 0).
+        let dv = if v.is_finite() {
+            (v * 1e6).round() as i64
+        } else {
+            0
+        };
+        self.cell.sum_micros.fetch_add(dv, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+/// An immutable, mergeable copy of a histogram's state. Only non-empty
+/// buckets are materialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    /// Sum of finite observations in fixed-point micro-units.
+    pub sum_micros: i64,
+    /// `(bucket_index, count)` pairs, ascending by index, counts > 0.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_micros: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_micros as f64 / 1e6
+    }
+
+    /// Merge `other` into `self` (element-wise bucket addition —
+    /// associative and commutative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        let mut merged: Vec<(usize, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Conservative quantile estimate: the upper edge of the bucket
+    /// containing the rank-`⌈p·count⌉` observation (so the true value
+    /// is ≤ the estimate, and ≥ the same bucket's lower edge).
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.quantile_bounds(p).1
+    }
+
+    /// `(lower_edge, upper_edge)` of the bucket containing quantile `p`.
+    /// Returns `(NaN, NaN)` on an empty histogram.
+    pub fn quantile_bounds(&self, p: f64) -> (f64, f64) {
+        if self.count == 0 {
+            return (f64::NAN, f64::NAN);
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(idx, c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                return (lower_edge(idx), upper_edge(idx));
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; be safe.
+        let last = self.buckets.last().map(|&(i, _)| i).unwrap_or(0);
+        (lower_edge(last), upper_edge(last))
+    }
+
+    /// Cumulative count at or below bucket `idx`'s upper edge.
+    pub fn cumulative_at(&self, idx: usize) -> u64 {
+        self.buckets
+            .iter()
+            .take_while(|&&(i, _)| i <= idx)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_on_samples() {
+        let vals = [1e-9, 0.001, 0.5, 1.0, 1.49, 1.5, 2.0, 3.0, 100.0, 1e9, 1e13];
+        for w in vals.windows(2) {
+            assert!(
+                bucket_index(w[0]) <= bucket_index(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn edges_bound_their_bucket() {
+        for v in [0.37, 1.0, 1.99, 12.5, 4096.0, 7e9] {
+            let idx = bucket_index(v);
+            assert!(
+                lower_edge(idx) <= v && v < upper_edge(idx),
+                "v={v} idx={idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonpositive_and_nan_land_in_bucket_zero() {
+        for v in [0.0, -1.0, f64::NEG_INFINITY, f64::NAN] {
+            assert_eq!(bucket_index(v), 0);
+        }
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let h = Histogram::detached();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let (lo, hi) = s.quantile_bounds(0.5);
+        assert!(
+            lo <= 50.0 && 50.0 <= hi * (1.0 + 1e-12),
+            "median in [{lo},{hi}]"
+        );
+        assert!(s.quantile(1.0) >= 100.0);
+        assert!(s.quantile(0.0) <= s.quantile(1.0));
+        assert!((s.sum() - 5050.0).abs() < 1e-6);
+        crate::disable();
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let a = Histogram::detached();
+        let b = Histogram::detached();
+        a.observe(1.0);
+        a.observe(2.0);
+        b.observe(2.0);
+        b.observe(300.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.cumulative_at(NUM_BUCKETS - 1), 4);
+        assert!((m.sum() - 305.0).abs() < 1e-6);
+        crate::disable();
+    }
+
+    #[test]
+    fn observe_is_noop_when_disabled() {
+        let _g = crate::testutil::serial();
+        crate::disable();
+        let h = Histogram::detached();
+        h.observe(1.0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

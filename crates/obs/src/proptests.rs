@@ -1,0 +1,102 @@
+//! Property-based tests for the histogram invariants.
+//!
+//! These operate on [`HistogramSnapshot`] values built directly from
+//! observation lists (pure bucket arithmetic, no global enable flag),
+//! so they are immune to the enable/disable toggling the unit tests do.
+
+use crate::histogram::{bucket_index, lower_edge, upper_edge, HistogramSnapshot, NUM_BUCKETS};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Build a snapshot from raw observations without touching atomics.
+fn snap_of(vals: &[f64]) -> HistogramSnapshot {
+    let mut buckets: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut sum_micros = 0i64;
+    for &v in vals {
+        *buckets.entry(bucket_index(v)).or_default() += 1;
+        if v.is_finite() {
+            sum_micros = sum_micros.saturating_add((v * 1e6).round() as i64);
+        }
+    }
+    HistogramSnapshot {
+        count: vals.len() as u64,
+        sum_micros,
+        buckets: buckets.into_iter().collect(),
+    }
+}
+
+fn arb_vals() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-8f64..1e10, 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Larger values never land in smaller buckets.
+    #[test]
+    fn bucket_index_is_monotone(a in 1e-12f64..1e14, b in 1e-12f64..1e14) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi),
+            "{lo} -> {} vs {hi} -> {}", bucket_index(lo), bucket_index(hi));
+    }
+
+    /// Every in-range value sits inside its own bucket's edges, and the
+    /// edges tile: lower_edge(i+1) == upper_edge(i).
+    #[test]
+    fn edges_bound_and_tile(v in 1e-6f64..1e12) {
+        let idx = bucket_index(v);
+        prop_assert!(lower_edge(idx) <= v && v < upper_edge(idx));
+        if idx + 1 < NUM_BUCKETS {
+            prop_assert_eq!(lower_edge(idx + 1).to_bits(), upper_edge(idx).to_bits());
+        }
+    }
+
+    /// Merge is associative: (A ⊕ B) ⊕ C == A ⊕ (B ⊕ C).
+    #[test]
+    fn merge_is_associative(a in arb_vals(), b in arb_vals(), c in arb_vals()) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge is commutative and conserves counts: total count and every
+    /// bucket count add exactly.
+    #[test]
+    fn merge_conserves_counts(a in arb_vals(), b in arb_vals()) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count, sa.count + sb.count);
+        let bucket_total: u64 = ab.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, ab.count);
+        // Merging matches observing the concatenation.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &snap_of(&all));
+    }
+
+    /// Quantile estimates are bounded by the containing bucket's edges,
+    /// and those edges bracket the true rank statistic.
+    #[test]
+    fn quantiles_bounded_by_bucket_edges(vals in proptest::collection::vec(1e-6f64..1e12, 1..60),
+                                         p in 0.0f64..1.0) {
+        let s = snap_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let target = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[target - 1];
+        let (lo, hi) = s.quantile_bounds(p);
+        prop_assert!(lo <= truth && truth <= hi,
+            "q({p}) = [{lo}, {hi}] must bracket rank value {truth}");
+        prop_assert_eq!(s.quantile(p).to_bits(), hi.to_bits());
+    }
+}

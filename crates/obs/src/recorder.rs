@@ -1,0 +1,151 @@
+//! The flight recorder: a bounded ring of recent structured events.
+//!
+//! When a long run fails an assertion three hours in, the counters say
+//! *how much* happened but not *what just happened*. The flight
+//! recorder keeps the last `capacity` events (default 1024) — rewires,
+//! churn arrivals, protocol joins — each with a caller-supplied or
+//! monotonic timestamp, a static name, and a handful of typed fields.
+//! Older events are overwritten; `seq` numbers stay globally ordered
+//! so a dump shows exactly how much history was lost.
+//!
+//! Recording is double-gated (`obs::is_enabled() && obs::is_tracing()`)
+//! so metrics-only runs never touch the ring's mutex.
+
+use std::collections::VecDeque;
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (never reused, reveals ring overwrites).
+    pub seq: u64,
+    /// Timestamp in nanoseconds — virtual time in protocol tests,
+    /// process-monotonic otherwise.
+    pub t_ns: u64,
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+pub(crate) struct FlightRecorder {
+    capacity: usize,
+    next_seq: u64,
+    buf: VecDeque<Event>,
+}
+
+pub(crate) const DEFAULT_CAPACITY: usize = 1024;
+
+impl FlightRecorder {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            next_seq: 0,
+            buf: VecDeque::with_capacity(capacity.min(256)),
+        }
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        t_ns: u64,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Event {
+            seq: self.next_seq,
+            t_ns,
+            name,
+            fields: fields.to_vec(),
+        });
+        self.next_seq += 1;
+    }
+
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.buf.len() > self.capacity {
+            self.buf.pop_front();
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.next_seq = 0;
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
+    pub(crate) fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_but_keeps_seq() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(i * 10, "tick", &[("i", FieldValue::U64(i))]);
+        }
+        let ev = r.snapshot();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].seq, 2);
+        assert_eq!(ev[2].seq, 4);
+        assert_eq!(r.total_recorded(), 5);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_front() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..8u64 {
+            r.record(i, "e", &[]);
+        }
+        r.set_capacity(2);
+        let ev = r.snapshot();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].seq, 6);
+    }
+}

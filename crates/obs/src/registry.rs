@@ -1,0 +1,188 @@
+//! The process-wide instrument registry.
+//!
+//! Components resolve handles by dotted name once at construction
+//! (`registry().counter("core.solver.scanned")`) and hit only their
+//! own atomic cell afterwards — the registry's maps are touched on
+//! registration, reset, and export, never on the hot path.
+//!
+//! [`Registry::reset`] zeroes every value but keeps registrations, so
+//! benchmark drivers can reuse handles across scenarios and read each
+//! scenario's deltas as absolute values.
+
+use crate::counter::{Counter, CounterCell};
+use crate::histogram::{HistCell, Histogram, HistogramSnapshot};
+use crate::recorder::{Event, FieldValue, FlightRecorder, DEFAULT_CAPACITY};
+use crate::span::{SpanStats, Timer};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanStats>>>,
+    recorder: Mutex<FlightRecorder>,
+    origin: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The global registry (created on first use).
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+        recorder: Mutex::new(FlightRecorder::new(DEFAULT_CAPACITY)),
+        origin: Instant::now(),
+    })
+}
+
+impl Registry {
+    /// Fetch or register the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CounterCell::default()));
+        Counter::from_cell(Arc::clone(cell))
+    }
+
+    /// Fetch or register the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.histograms);
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistCell::new()));
+        Histogram::from_cell(Arc::clone(cell))
+    }
+
+    /// Fetch or register the span timer named `name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        let mut map = lock(&self.spans);
+        let stats = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(SpanStats::default()));
+        Timer::from_stats(Arc::clone(stats))
+    }
+
+    /// Zero every instrument and clear the flight recorder. Handles
+    /// stay valid — existing components keep reporting into the same
+    /// cells.
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.reset();
+        }
+        for cell in lock(&self.histograms).values() {
+            cell.reset();
+        }
+        for stats in lock(&self.spans).values() {
+            stats.reset();
+        }
+        lock(&self.recorder).clear();
+    }
+
+    /// Nanoseconds since the registry was created (process-monotonic).
+    pub fn monotonic_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Resize the flight-recorder ring (default 1024 events).
+    pub fn set_recorder_capacity(&self, capacity: usize) {
+        lock(&self.recorder).set_capacity(capacity);
+    }
+
+    pub(crate) fn record_event(
+        &self,
+        t_ns: u64,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        lock(&self.recorder).record(t_ns, name, fields);
+    }
+
+    /// The retained flight-recorder events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.recorder).snapshot()
+    }
+
+    /// Total events ever recorded (including ones the ring dropped).
+    pub fn events_recorded(&self) -> u64 {
+        lock(&self.recorder).total_recorded()
+    }
+
+    /// Current value of a counter, 0 if unregistered. Export/test path.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).map_or(0, |c| c.load())
+    }
+
+    /// `(count, total_ns)` of a span, zeros if unregistered.
+    pub fn span_value(&self, name: &str) -> (u64, u64) {
+        lock(&self.spans).get(name).map_or((0, 0), |s| s.load())
+    }
+
+    /// Snapshot of a histogram, empty if unregistered.
+    pub fn histogram_snapshot(&self, name: &str) -> HistogramSnapshot {
+        lock(&self.histograms)
+            .get(name)
+            .map_or_else(HistogramSnapshot::empty, |h| h.snapshot())
+    }
+
+    /// All counters as sorted `(name, value)` pairs.
+    pub fn counters_sorted(&self) -> Vec<(String, u64)> {
+        lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load()))
+            .collect()
+    }
+
+    /// All spans as sorted `(name, count, total_ns)` tuples.
+    pub fn spans_sorted(&self) -> Vec<(String, u64, u64)> {
+        lock(&self.spans)
+            .iter()
+            .map(|(k, v)| {
+                let (c, ns) = v.load();
+                (k.clone(), c, ns)
+            })
+            .collect()
+    }
+
+    /// All histograms as sorted `(name, snapshot)` pairs.
+    pub fn histograms_sorted(&self) -> Vec<(String, HistogramSnapshot)> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_a_cell_and_reset_keeps_handles() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let a = registry().counter("test.registry.shared");
+        let b = registry().counter("test.registry.shared");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        registry().reset();
+        assert_eq!(a.get(), 0);
+        b.add(1);
+        assert_eq!(registry().counter_value("test.registry.shared"), 1);
+        crate::disable();
+    }
+
+    #[test]
+    fn unregistered_names_read_as_empty() {
+        assert_eq!(registry().counter_value("test.registry.nope"), 0);
+        assert_eq!(registry().span_value("test.registry.nope"), (0, 0));
+        assert_eq!(registry().histogram_snapshot("test.registry.nope").count, 0);
+    }
+}

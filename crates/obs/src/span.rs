@@ -1,0 +1,147 @@
+//! Timing spans.
+//!
+//! A [`Timer`] is a named span accumulator: each completed span adds
+//! `(1, elapsed_ns)` to its `(count, total_ns)` cell. Hierarchy is by
+//! dotted name — `core.epoch.turn.solver` rolls up under
+//! `core.epoch.turn` in any viewer that re-nests on dots; the registry
+//! itself keeps a flat map.
+//!
+//! Wall-clock enters here and only here. When instrumentation is
+//! disabled, [`Timer::start`] takes no timestamp at all (no syscall),
+//! which is what keeps the disabled path within noise of un-instrumented
+//! code. `total_ns` is inherently nondeterministic and is excluded from
+//! every fingerprinted export; `count` is deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Default)]
+pub(crate) struct SpanStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl SpanStats {
+    pub(crate) fn load(&self) -> (u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handle onto a registered (or detached) span accumulator.
+#[derive(Clone)]
+pub struct Timer {
+    pub(crate) stats: Arc<SpanStats>,
+}
+
+impl Timer {
+    /// A timer not attached to any registry.
+    pub fn detached() -> Self {
+        Timer {
+            stats: Arc::new(SpanStats::default()),
+        }
+    }
+
+    pub(crate) fn from_stats(stats: Arc<SpanStats>) -> Self {
+        Timer { stats }
+    }
+
+    /// Open a span. The guard records on drop; while disabled this
+    /// takes no timestamp and the drop is a no-op.
+    #[inline]
+    pub fn start(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            stats: if crate::is_enabled() {
+                Some((&self.stats, Instant::now()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Record an externally measured duration (used where a span's
+    /// start and end live in different stack frames).
+    #[inline]
+    pub fn add_ns(&self, ns: u64) {
+        if crate::is_enabled() {
+            self.stats.count.fetch_add(1, Ordering::Relaxed);
+            self.stats.total_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Completed span count.
+    pub fn count(&self) -> u64 {
+        self.stats.count.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated wall nanoseconds across completed spans.
+    pub fn total_ns(&self) -> u64 {
+        self.stats.total_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for an open span.
+pub struct SpanGuard<'a> {
+    stats: Option<(&'a SpanStats, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((stats, t0)) = self.stats.take() {
+            stats.count.fetch_add(1, Ordering::Relaxed);
+            stats
+                .total_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let t = Timer::detached();
+        {
+            let _g = t.start();
+        }
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.count(), 2);
+        crate::disable();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::testutil::serial();
+        crate::disable();
+        let t = Timer::detached();
+        let _g = t.start();
+        drop(_g);
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.total_ns(), 0);
+    }
+
+    #[test]
+    fn add_ns_accumulates() {
+        let _g = crate::testutil::serial();
+        crate::enable();
+        let t = Timer::detached();
+        t.add_ns(5);
+        t.add_ns(7);
+        assert_eq!((t.count(), t.total_ns()), (2, 12));
+        crate::disable();
+    }
+}

@@ -85,6 +85,26 @@ impl MessageClass {
         MessageClass::Heartbeat,
         MessageClass::Control,
     ];
+
+    /// Stable lowercase label (metric names, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageClass::Bootstrap => "bootstrap",
+            MessageClass::Sync => "sync",
+            MessageClass::LinkState => "link_state",
+            MessageClass::Measurement => "measurement",
+            MessageClass::Heartbeat => "heartbeat",
+            MessageClass::Control => "control",
+        }
+    }
+
+    /// Position in [`MessageClass::ALL`], for dense per-class tables.
+    pub fn slot(self) -> usize {
+        MessageClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("ALL covers every class")
+    }
 }
 
 #[cfg(test)]

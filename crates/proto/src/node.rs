@@ -25,7 +25,7 @@
 
 use crate::codec::{decode, encode};
 use crate::lsdb::Lsdb;
-use crate::message::{LinkEntry, LinkStateAnnouncement, Message};
+use crate::message::{LinkEntry, LinkStateAnnouncement, Message, MessageClass};
 use crate::overhead::OverheadCounters;
 use crate::transport::Transport;
 use egoist_core::cost::Preferences;
@@ -36,10 +36,46 @@ use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use tokio::sync::oneshot;
 use tokio::time::Instant;
+
+/// Obs handles for the protocol layer, per-class send/receive tables
+/// indexed by [`MessageClass::slot`]. These mirror the per-node
+/// [`OverheadCounters`] in aggregate: every frame accounted there is
+/// also counted here (`tests/obs_consistency.rs` pins the equality).
+/// Timestamps fed to the convergence histogram come from the node's
+/// virtual clock (`now_secs`), so paused-runtime tests see exact values.
+struct ProtoObs {
+    send_frames: Vec<egoist_obs::Counter>,
+    send_bytes: Vec<egoist_obs::Counter>,
+    recv_frames: Vec<egoist_obs::Counter>,
+    recv_bytes: Vec<egoist_obs::Counter>,
+    decode_errors: egoist_obs::Counter,
+    join_secs: egoist_obs::Histogram,
+}
+
+fn proto_obs() -> &'static ProtoObs {
+    static OBS: OnceLock<ProtoObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        let table = |dir: &str, what: &str| {
+            MessageClass::ALL
+                .iter()
+                .map(|c| r.counter(&format!("proto.{dir}.{}.{what}", c.label())))
+                .collect()
+        };
+        ProtoObs {
+            send_frames: table("send", "frames"),
+            send_bytes: table("send", "bytes"),
+            recv_frames: table("recv", "frames"),
+            recv_bytes: table("recv", "bytes"),
+            decode_errors: r.counter("proto.decode_errors"),
+            join_secs: r.histogram("proto.convergence.join_secs"),
+        }
+    })
+}
 
 /// When to repair a dropped link (§3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,7 +264,11 @@ impl<T: Transport> EgoistNode<T> {
 
     async fn send_msg(&mut self, to: NodeId, msg: &Message) {
         let frame = encode(msg);
-        self.overhead.record(msg.class(), frame.len());
+        let class = msg.class();
+        self.overhead.record(class, frame.len());
+        let obs = proto_obs();
+        obs.send_frames[class.slot()].inc();
+        obs.send_bytes[class.slot()].add(frame.len() as u64);
         let _ = self.transport.send(to, frame).await;
     }
 
@@ -452,9 +492,16 @@ impl<T: Transport> EgoistNode<T> {
             Ok(m) => m,
             Err(_) => {
                 self.decode_errors += 1;
+                proto_obs().decode_errors.inc();
                 return;
             }
         };
+        {
+            let obs = proto_obs();
+            let class = msg.class();
+            obs.recv_frames[class.slot()].inc();
+            obs.recv_bytes[class.slot()].add(frame.len() as u64);
+        }
         if from.index() < self.cfg.n {
             self.last_heard[from.index()] = Some(Instant::now());
         }
@@ -504,6 +551,18 @@ impl<T: Transport> EgoistNode<T> {
                         // waiting out its first wiring epoch.
                         if !self.join_wired && self.wiring.is_empty() && self.rewire().await {
                             self.join_wired = true;
+                            // Gossip convergence: virtual seconds from
+                            // node start to the first established link.
+                            let joined = self.now_secs();
+                            proto_obs().join_secs.observe(joined);
+                            egoist_obs::event_at(
+                                (joined * 1e9) as u64,
+                                "proto.join",
+                                &[
+                                    ("node", (self.cfg.id.index() as u64).into()),
+                                    ("secs", joined.into()),
+                                ],
+                            );
                             self.rewirings += 1;
                             self.announce().await;
                             self.publish();

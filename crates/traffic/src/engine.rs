@@ -75,6 +75,7 @@ impl TrafficEngine {
             sim.delays().base(),
         );
         let router = FlowRouter::new(cfg.router);
+        let epoch_timer = egoist_obs::registry().timer("traffic.epoch");
         let mut report = TrafficReport::new(
             sim.config_label(),
             demand.kind().label().to_string(),
@@ -84,6 +85,7 @@ impl TrafficEngine {
         );
 
         for epoch in 0..cfg.sim.epochs {
+            let _epoch_span = epoch_timer.start();
             let rewirings = sim.run_epoch(epoch);
 
             let flows = demand.generate(epoch, sim.alive());

@@ -14,6 +14,36 @@ use egoist_graph::csr::{path_from_parents, successive_disjoint_paths, NO_PARENT}
 use egoist_graph::disjoint::edge_disjoint_paths;
 use egoist_graph::{CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Obs handles for the data plane, resolved lazily once. Everything
+/// recorded here is a simulated quantity (Mbps, simulated ms), so the
+/// exported values are deterministic per seed.
+struct TrafficObs {
+    route: egoist_obs::Timer,
+    flows_offered: egoist_obs::Counter,
+    flows_admitted: egoist_obs::Counter,
+    flows_dropped: egoist_obs::Counter,
+    latency_ms: egoist_obs::Histogram,
+    stretch: egoist_obs::Histogram,
+    link_utilization: egoist_obs::Histogram,
+}
+
+fn traffic_obs() -> &'static TrafficObs {
+    static OBS: OnceLock<TrafficObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        TrafficObs {
+            route: r.timer("traffic.route"),
+            flows_offered: r.counter("traffic.flows.offered"),
+            flows_admitted: r.counter("traffic.flows.admitted"),
+            flows_dropped: r.counter("traffic.flows.dropped"),
+            latency_ms: r.histogram("traffic.flow_latency_ms"),
+            stretch: r.histogram("traffic.flow_stretch"),
+            link_utilization: r.histogram("traffic.link_utilization"),
+        }
+    })
+}
 
 /// Router tuning.
 #[derive(Clone, Copy, Debug)]
@@ -146,6 +176,8 @@ impl FlowRouter {
     /// cache cannot change admission results). Flows are still metered
     /// into capacity strictly in their original order.
     pub fn route(&self, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        let obs = traffic_obs();
+        let _span = obs.route.start();
         let n = inp.overlay.len();
         let mut ledger = CapacityLedger::new(inp.capacity);
         let offered: f64 = flows.iter().map(|f| f.rate_mbps).sum();
@@ -172,6 +204,7 @@ impl FlowRouter {
 
         let mut routed = Vec::with_capacity(flows.len());
         let mut delivered_total = 0.0;
+        let (mut admitted, mut dropped) = (0u64, 0u64);
         for &flow in flows {
             let paths: Vec<Vec<NodeId>> = if self.cfg.max_paths <= 1 {
                 let (dist, parent) = per_source[flow.src.index()]
@@ -207,6 +240,7 @@ impl FlowRouter {
             };
 
             if paths.is_empty() {
+                dropped += 1;
                 routed.push(RoutedFlow {
                     flow,
                     delivered_mbps: 0.0,
@@ -247,8 +281,14 @@ impl FlowRouter {
                 } else {
                     f64::NAN
                 };
+                admitted += 1;
+                obs.latency_ms.observe(lat);
+                if stretch.is_finite() {
+                    obs.stretch.observe(stretch);
+                }
                 (lat, stretch)
             } else {
+                dropped += 1;
                 (f64::NAN, f64::NAN)
             };
             delivered_total += delivered;
@@ -259,6 +299,23 @@ impl FlowRouter {
                 stretch,
                 paths_used: used,
             });
+        }
+
+        obs.flows_offered.add(flows.len() as u64);
+        obs.flows_admitted.add(admitted);
+        obs.flows_dropped.add(dropped);
+        if egoist_obs::is_enabled() {
+            // Utilization of every link that carried traffic this epoch.
+            let consumed = ledger.consumed_matrix();
+            for i in 0..n {
+                for j in 0..n {
+                    let used = consumed[i * n + j];
+                    let cap = inp.capacity.at(i, j);
+                    if used > 0.0 && cap > 0.0 {
+                        obs.link_utilization.observe(used / cap);
+                    }
+                }
+            }
         }
 
         RouteOutcome {

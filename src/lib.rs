@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`obs`] | `egoist-obs` | deterministic spans, counters, histograms, flight recorder, JSON/Prometheus export |
 //! | [`graph`] | `egoist-graph` | shortest/widest paths, max-flow, disjoint paths, cycles, efficiency |
 //! | [`netsim`] | `egoist-netsim` | delay/bandwidth/load models, churn, event queue, fault injection |
 //! | [`coord`] | `egoist-coord` | Vivaldi network coordinates (the paper's pyxida mode) |
@@ -52,6 +53,7 @@ pub use egoist_coord as coord;
 pub use egoist_core as core;
 pub use egoist_graph as graph;
 pub use egoist_netsim as netsim;
+pub use egoist_obs as obs;
 pub use egoist_proto as proto;
 pub use egoist_traffic as traffic;
 

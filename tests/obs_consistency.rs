@@ -1,0 +1,209 @@
+//! Cross-layer consistency of the `egoist-obs` registry.
+//!
+//! Three claims pinned here:
+//!
+//! 1. the protocol layer's per-message-class registry counters agree
+//!    *exactly* with the per-node [`OverheadCounters`] ledgers summed
+//!    over a full overlay run — the two accounting paths (obs registry
+//!    vs. the §4.3 overhead accountant) see every frame the same way;
+//! 2. instrumentation is invisible to the simulation: a closed-loop
+//!    traffic run produces a byte-identical report whether obs (and the
+//!    flight recorder) is on or off;
+//! 3. obs counters are themselves deterministic: two identical runs
+//!    export identical counter and histogram values.
+//!
+//! The enable/trace flags are process-global, so every test here takes
+//! one shared lock and restores the disabled state before releasing it.
+
+use egoist::graph::{DistanceMatrix, NodeId};
+use egoist::proto::bootstrap::{BootstrapServer, Registry};
+use egoist::proto::message::MessageClass;
+use egoist::proto::{EgoistNode, NodeConfig, SimNet};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const BOOT: NodeId = NodeId(1000);
+
+#[test]
+fn proto_registry_counters_match_overhead_ledgers() {
+    let _g = serial();
+    let reg = egoist::obs::registry();
+    reg.reset();
+    egoist::obs::enable();
+
+    let views = tokio::runtime::block_on_paused(async {
+        let n = 6;
+        let k = 2;
+        let delays = DistanceMatrix::from_fn(n, |i, j| 4.0 + ((i * 3 + j) % 7) as f64);
+        let mut big = DistanceMatrix::off_diagonal(1001, 1.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    big.set_at(i, j, delays.at(i, j));
+                }
+            }
+        }
+        // A clean net: no corrupted frames, so decode_errors stays 0 and
+        // every sent frame is accounted on both ledgers.
+        let net = SimNet::clean(big);
+        tokio::spawn(BootstrapServer::new(net.endpoint(BOOT), Registry::default()).run());
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let mut cfg = NodeConfig::new(NodeId::from_index(i), n, k);
+            cfg.epoch = Duration::from_secs(10);
+            cfg.announce_interval = Duration::from_secs(3);
+            cfg.ping_interval = Duration::from_secs(5);
+            cfg.liveness_timeout = Duration::from_secs(12);
+            cfg.bootstrap = Some(BOOT);
+            handles.push(EgoistNode::new(cfg, net.endpoint(NodeId::from_index(i))).spawn());
+            tokio::time::sleep(Duration::from_millis(150)).await;
+        }
+        tokio::time::sleep(Duration::from_secs(60)).await;
+        // Keep the shared views alive past stop(): the node publishes a
+        // final snapshot (including its overhead ledger) on shutdown, and
+        // the Leave frames it sends then are counted on both sides.
+        let views: Vec<_> = handles
+            .iter()
+            .map(|h| std::sync::Arc::clone(&h.view))
+            .collect();
+        for h in handles {
+            h.stop().await;
+        }
+        views
+    });
+
+    egoist::obs::disable();
+
+    for class in MessageClass::ALL {
+        let label = class.label();
+        let ledger_frames: u64 = views.iter().map(|v| v.read().overhead.frames(class)).sum();
+        let ledger_bytes: u64 = views.iter().map(|v| v.read().overhead.bytes(class)).sum();
+        let reg_frames = reg.counter_value(&format!("proto.send.{label}.frames"));
+        let reg_bytes = reg.counter_value(&format!("proto.send.{label}.bytes"));
+        assert_eq!(
+            reg_frames, ledger_frames,
+            "{label}: registry frames vs summed per-node ledgers"
+        );
+        assert_eq!(
+            reg_bytes, ledger_bytes,
+            "{label}: registry bytes vs summed per-node ledgers"
+        );
+    }
+    // The overlay actually did something measurable.
+    assert!(reg.counter_value("proto.send.measurement.frames") > 0);
+    assert!(reg.counter_value("proto.send.link_state.frames") > 0);
+    assert_eq!(reg.counter_value("proto.decode_errors"), 0);
+    // Joins landed in the convergence histogram — at most one per node
+    // (a node that first wires at an epoch tick, rather than on the
+    // ping fast-path, does not count as an observed join).
+    let joins = reg.histogram_snapshot("proto.convergence.join_secs").count;
+    assert!(
+        joins >= 1 && joins <= views.len() as u64,
+        "join observations out of range: {joins}"
+    );
+    // Received frames are a subset of sent ones (lossless net, but some
+    // frames go to the bootstrap server, which is not an EgoistNode).
+    for class in MessageClass::ALL {
+        let label = class.label();
+        assert!(
+            reg.counter_value(&format!("proto.recv.{label}.frames"))
+                <= reg.counter_value(&format!("proto.send.{label}.frames")),
+            "{label}: more receives than sends"
+        );
+    }
+}
+
+fn traffic_cfg() -> egoist::traffic::engine::TrafficConfig {
+    use egoist::core::policies::PolicyKind;
+    use egoist::core::sim::Metric;
+    let mut cfg = egoist::traffic::engine::TrafficConfig::new(
+        16,
+        3,
+        PolicyKind::BestResponse,
+        Metric::DelayPing,
+        7,
+    );
+    cfg.sim.epochs = 6;
+    cfg.sim.warmup_epochs = 2;
+    cfg.flows_per_epoch = 24;
+    cfg
+}
+
+#[test]
+fn instrumentation_does_not_change_outputs() {
+    let _g = serial();
+    use egoist::traffic::engine::TrafficEngine;
+    let cfg = traffic_cfg();
+
+    egoist::obs::disable();
+    let plain = TrafficEngine::run(&cfg).to_json();
+
+    egoist::obs::registry().reset();
+    egoist::obs::enable();
+    egoist::obs::enable_trace();
+    let instrumented = TrafficEngine::run(&cfg).to_json();
+    egoist::obs::disable_trace();
+    egoist::obs::disable();
+
+    assert_eq!(
+        plain, instrumented,
+        "enabling obs must be invisible to simulation outputs"
+    );
+}
+
+#[test]
+fn obs_exports_are_deterministic_across_runs() {
+    let _g = serial();
+    use egoist::traffic::engine::TrafficEngine;
+    let cfg = traffic_cfg();
+    let reg = egoist::obs::registry();
+
+    let deterministic_view = || {
+        // Everything except span durations: counters, histogram
+        // snapshots (bucket counts and fixed-point sums), span *counts*.
+        let counters = reg.counters_sorted();
+        let hists: Vec<_> = reg
+            .histograms_sorted()
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("proto."))
+            .collect();
+        let span_counts: Vec<_> = reg
+            .spans_sorted()
+            .into_iter()
+            .map(|(name, count, _ns)| (name, count))
+            .collect();
+        (counters, hists, span_counts)
+    };
+
+    egoist::obs::enable();
+    reg.reset();
+    TrafficEngine::run(&cfg);
+    let first = deterministic_view();
+
+    reg.reset();
+    TrafficEngine::run(&cfg);
+    let second = deterministic_view();
+    egoist::obs::disable();
+
+    assert_eq!(first, second, "obs exports must be seed-deterministic");
+    let (counters, hists, _) = first;
+    assert!(
+        counters
+            .iter()
+            .any(|(name, v)| name == "core.solver.candidates_scanned" && *v > 0),
+        "solver counters should have fired: {counters:?}"
+    );
+    assert!(
+        hists
+            .iter()
+            .any(|(name, snap)| name == "traffic.flow_latency_ms" && snap.count > 0),
+        "flow latency histogram should have observations"
+    );
+}
