@@ -23,9 +23,10 @@
 //!   paper's churn-rate statistic (§4.4).
 //! * [`events`] — a tiny deterministic discrete-event queue used to stagger
 //!   re-wiring epochs (`T/n` average spacing, §4.2).
-//! * [`fault`] — message-level fault injection (drop, corrupt, rate-limit)
-//!   for exercising the protocol crate, in the spirit of smoltcp's example
-//!   fault injectors.
+//! * [`fault`] — message-level fault injection (drop, corrupt, rate-limit,
+//!   duplicate, reorder, delay jitter) plus the time-windowed
+//!   [`fault::FaultPlan`] schedule of partitions, churn storms and
+//!   loss/jitter bursts that drives the adversarial fleet harness.
 //! * [`rng`] — seed-derivation helpers so every subsystem gets an
 //!   independent deterministic stream.
 //! * [`topo`] — BRITE-style Waxman and Barabási–Albert synthetic
@@ -44,6 +45,7 @@ pub mod topo;
 pub use bandwidth::BandwidthModel;
 pub use churn::{ChurnModel, ChurnTrace};
 pub use delay::DelayModel;
+pub use fault::{FaultConfig, FaultInjector, FaultPlan, FaultWindow, WindowFault};
 pub use load::LoadModel;
 pub use planetlab::{PlanetLabSpec, Region};
 

@@ -2,10 +2,11 @@
 
 use crate::churn::{ChurnModel, ChurnTrace, Durations, NodeProfile};
 use crate::delay::{DelayConfig, DelayModel};
-use crate::fault::{FaultConfig, FaultInjector, Verdict};
+use crate::fault::{FaultConfig, FaultInjector, FaultPlan, Verdict};
 use crate::planetlab::{PlanetLabSpec, Region};
 use crate::rng::derive;
 use crate::topo::{barabasi_albert_delays, waxman_delays, BaConfig, WaxmanConfig};
+use egoist_graph::NodeId;
 use proptest::prelude::*;
 
 proptest! {
@@ -115,6 +116,71 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// Same seed + config + plan ⇒ identical verdict sequence, across
+    /// every verdict class (drop, corrupt, duplicate, reorder, jitter,
+    /// partition/storm cuts). The adversarial fleet harness's
+    /// bit-reproducible reports rest on this.
+    #[test]
+    fn fault_plan_verdicts_are_deterministic(
+        seed in 0u64..200,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.4,
+        reorder in 0.0f64..0.4,
+        jitter in 0.0f64..0.4,
+        frames in 1usize..300,
+    ) {
+        let cfg = FaultConfig {
+            drop_chance: drop,
+            corrupt_chance: 0.1,
+            duplicate_chance: dup,
+            reorder_chance: reorder,
+            jitter_chance: jitter,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new()
+            .partition(20.0, 50.0, vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]])
+            .churn_storm(60.0, 120.0, (0..4).map(NodeId).collect(), 15.0, 0.3)
+            .loss(130.0, 160.0, 0.8)
+            .duplicate(130.0, 160.0, 0.5)
+            .reorder(130.0, 160.0, 0.5, 30.0)
+            .jitter(130.0, 160.0, 0.5, 8.0);
+        let run = || {
+            let mut inj = FaultInjector::with_plan(cfg, Some(plan.clone()), seed);
+            let mut verdicts = Vec::with_capacity(frames);
+            for t in 0..frames {
+                let now = t as f64 * 0.7;
+                let from = NodeId((t % 4) as u32);
+                let to = NodeId(((t + 1) % 4) as u32);
+                let mut buf = vec![0x5Au8; 16];
+                verdicts.push(inj.process_addressed(now, from, to, &mut buf));
+            }
+            (verdicts, inj.cut, inj.duplicated, inj.reordered, inj.jittered)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A plan-free injector behaves identically through the addressed
+    /// and address-blind entry points: wiring the plan machinery in must
+    /// not perturb legacy verdict streams.
+    #[test]
+    fn addressed_and_blind_paths_agree_without_plan(
+        seed in 0u64..200,
+        drop in 0.0f64..0.9,
+        frames in 1usize..200,
+    ) {
+        let cfg = FaultConfig { drop_chance: drop, corrupt_chance: 0.2, ..Default::default() };
+        let mut blind = FaultInjector::new(cfg, seed);
+        let mut addressed = FaultInjector::new(cfg, seed);
+        for t in 0..frames {
+            let mut a = vec![0xC3u8; 8];
+            let mut b = a.clone();
+            let va = blind.process(t as f64, &mut a);
+            let vb = addressed.process_addressed(t as f64, NodeId(5), NodeId(6), &mut b);
+            prop_assert_eq!(va, vb);
+            prop_assert_eq!(&a, &b);
         }
     }
 

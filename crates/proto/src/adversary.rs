@@ -1,0 +1,225 @@
+//! Scripted adversaries for the chaos fleet (§4.5, beyond free-riding).
+//!
+//! Two attack shapes, both run as deterministic actors on the simulated
+//! network:
+//!
+//! * **Sybil swarm** — many protocol identities backed by *one* endpoint
+//!   budget (a shared token bucket over total frames/sec, modeling a
+//!   single physical uplink). Some identities speak only garbage.
+//! * **Eclipse lure** — each lying identity floods forged LSAs claiming
+//!   near-zero-cost links to every victim and to its fellow Sybils, so
+//!   the swarm looks like an irresistible transit hub to the §3.1
+//!   wiring objective.
+//!
+//! The defense under test is the per-peer scoring ledger in
+//! [`crate::node`]: the full-fan lure necessarily claims a link *to*
+//! each victim, which the victim audits against its own measurement and
+//! punishes; garbage earns decode strikes. A correctly defending fleet
+//! ends with no attacker identity in any honest active view.
+
+use crate::codec::{decode, encode};
+use crate::message::{LinkEntry, LinkStateAnnouncement, Message};
+use crate::transport::Transport;
+use bytes::Bytes;
+use egoist_graph::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::time::Instant;
+
+/// Shared uplink budget for a whole swarm: a token bucket refilled in
+/// virtual time. Every frame any identity sends costs one token, so
+/// adding identities never adds capacity — the paper's asymmetry
+/// between cheap identities and scarce bandwidth.
+pub struct EndpointBudget {
+    inner: Mutex<BudgetInner>,
+    rate: f64,
+    burst: f64,
+}
+
+struct BudgetInner {
+    tokens: f64,
+    last: Instant,
+}
+
+impl EndpointBudget {
+    /// Bucket allowing `rate` frames/sec with `burst` headroom.
+    pub fn new(rate: f64, burst: f64) -> Arc<Self> {
+        Arc::new(EndpointBudget {
+            inner: Mutex::new(BudgetInner {
+                tokens: burst,
+                last: Instant::now(),
+            }),
+            rate,
+            burst,
+        })
+    }
+
+    /// Take one token if available.
+    pub fn try_take(&self) -> bool {
+        let mut b = self.inner.lock();
+        let now = Instant::now();
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + dt * self.rate).min(self.burst);
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Swarm script parameters.
+#[derive(Clone, Debug)]
+pub struct AdversaryConfig {
+    /// Sybil identities (each gets its own transport endpoint).
+    pub ids: Vec<NodeId>,
+    /// Honest nodes under attack.
+    pub victims: Vec<NodeId>,
+    /// Shared uplink: total frames/sec across every identity.
+    pub frames_per_sec: f64,
+    /// Token-bucket burst headroom.
+    pub burst: f64,
+    /// Claimed cost of forged links (the lure; honest delays are ≥ ms).
+    pub lure_cost: f32,
+    /// How often each identity floods its forged LSA.
+    pub lure_interval: Duration,
+    /// The first `garbage_ids` identities send undecodable noise
+    /// instead of LSAs (pure Sybil spam).
+    pub garbage_ids: usize,
+}
+
+impl AdversaryConfig {
+    /// A swarm of `sybils` identities starting at id `first`, attacking
+    /// `victims`, with moderate budget and an aggressive lure.
+    pub fn swarm(first: usize, sybils: usize, victims: Vec<NodeId>) -> Self {
+        AdversaryConfig {
+            ids: (first..first + sybils).map(NodeId::from_index).collect(),
+            victims,
+            frames_per_sec: 40.0,
+            burst: 20.0,
+            lure_cost: 0.05,
+            lure_interval: Duration::from_secs(3),
+            garbage_ids: sybils / 4,
+        }
+    }
+}
+
+/// Aggregate swarm accounting, shared by every identity task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryStats {
+    /// Frames actually sent (lure + garbage + pongs).
+    pub sent: u64,
+    /// Sends suppressed by the endpoint budget.
+    pub throttled: u64,
+    /// Pings answered (the swarm stays measurable on purpose — an
+    /// unmeasurable peer never attracts a link).
+    pub pongs: u64,
+}
+
+/// Spawn one task per identity; returns the shared stats cell.
+///
+/// `endpoint_for` maps an identity to its transport endpoint (on a
+/// [`crate::transport::SimNet`] this is just `net.endpoint(id)`).
+pub fn spawn_swarm<T, F>(cfg: &AdversaryConfig, mut endpoint_for: F) -> Arc<Mutex<AdversaryStats>>
+where
+    T: Transport,
+    F: FnMut(NodeId) -> T,
+{
+    let budget = EndpointBudget::new(cfg.frames_per_sec, cfg.burst);
+    let stats = Arc::new(Mutex::new(AdversaryStats::default()));
+    for (slot, &id) in cfg.ids.iter().enumerate() {
+        let t = endpoint_for(id);
+        let garbage = slot < cfg.garbage_ids;
+        tokio::spawn(identity_task(
+            t,
+            id,
+            slot,
+            garbage,
+            cfg.clone(),
+            Arc::clone(&budget),
+            Arc::clone(&stats),
+        ));
+    }
+    stats
+}
+
+/// Forged announcement: near-zero links to every victim and every
+/// fellow Sybil.
+fn lure_lsa(me: NodeId, seq: u64, cfg: &AdversaryConfig) -> Message {
+    let links: Vec<LinkEntry> = cfg
+        .victims
+        .iter()
+        .copied()
+        .chain(cfg.ids.iter().copied().filter(|&s| s != me))
+        .map(|neighbor| LinkEntry {
+            neighbor,
+            cost: cfg.lure_cost,
+        })
+        .collect();
+    Message::LinkState(LinkStateAnnouncement {
+        origin: me,
+        seq,
+        links,
+    })
+}
+
+async fn identity_task<T: Transport>(
+    mut transport: T,
+    me: NodeId,
+    slot: usize,
+    garbage: bool,
+    cfg: AdversaryConfig,
+    budget: Arc<EndpointBudget>,
+    stats: Arc<Mutex<AdversaryStats>>,
+) {
+    // Stagger identities across the lure interval so the swarm's load
+    // is spread (and the schedule stays deterministic per slot).
+    let stagger = cfg
+        .lure_interval
+        .mul_f64(slot as f64 / cfg.ids.len().max(1) as f64);
+    let mut lure = tokio::time::interval_at(Instant::now() + stagger, cfg.lure_interval);
+    lure.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Skip);
+    let mut seq = 0u64;
+    loop {
+        tokio::select! {
+            biased;
+            maybe = transport.recv() => {
+                let Some((_, frame)) = maybe else { return };
+                // Stay pingable: a candidate with no measurement never
+                // attracts a link, so the swarm answers probes honestly
+                // (the lie lives in the LSAs, not the RTT).
+                if let Ok(Message::Ping { from: peer, nonce }) = decode(&frame) {
+                    if budget.try_take() {
+                        let pong = encode(&Message::Pong { from: me, nonce });
+                        let _ = transport.send(peer, pong).await;
+                        let mut s = stats.lock();
+                        s.sent += 1;
+                        s.pongs += 1;
+                    } else {
+                        stats.lock().throttled += 1;
+                    }
+                }
+            }
+            _ = lure.tick() => {
+                seq += 1;
+                for &v in &cfg.victims {
+                    if !budget.try_take() {
+                        stats.lock().throttled += 1;
+                        continue;
+                    }
+                    let frame = if garbage {
+                        // Wrong magic: fails the codec checksum path.
+                        Bytes::from_static(b"\xBA\xD5\x1B\x17garbage-sybil-frame\x00")
+                    } else {
+                        encode(&lure_lsa(me, seq, &cfg))
+                    };
+                    let _ = transport.send(v, frame).await;
+                    stats.lock().sent += 1;
+                }
+            }
+        }
+    }
+}

@@ -11,7 +11,59 @@ use crate::message::Message;
 use crate::transport::Transport;
 use egoist_graph::NodeId;
 use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Join retries (§3.1) use this instead of a fixed re-ask cadence: an
+/// unreachable seed is non-fatal, and a thundering herd of newcomers
+/// de-correlates because each node's jitter stream is seeded by its id.
+/// Same seed ⇒ identical retry schedule, which the adversarial fleet
+/// harness relies on for bit-reproducible runs.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// New schedule: delays grow `base · 2^attempt` up to `cap`, each
+    /// scaled by a jitter factor in `[0.5, 1.0)`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xBAC0_FF01),
+        }
+    }
+
+    /// Delay to wait before the next attempt (advances the schedule).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(16))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter = 0.5 + 0.5 * self.rng.random::<f64>();
+        exp.mul_f64(jitter)
+    }
+
+    /// Number of attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Success: restart from the base delay (jitter stream continues).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
 
 /// Shared membership registry.
 #[derive(Clone, Default)]
@@ -59,7 +111,12 @@ impl<T: Transport> BootstrapServer<T> {
     /// Serve until the transport closes.
     pub async fn run(mut self) {
         while let Some((from, frame)) = self.transport.recv().await {
-            let Ok(msg) = decode(&frame) else { continue };
+            let Ok(msg) = decode(&frame) else {
+                // Garbage frames are dropped, but not silently: the chaos
+                // harness watches this counter.
+                egoist_obs::counter("proto.bootstrap.decode_errors").inc();
+                continue;
+            };
             match msg {
                 Message::BootstrapRequest { from: requester } => {
                     // Candidates: most recently registered first, excluding

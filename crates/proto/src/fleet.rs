@@ -1,0 +1,511 @@
+//! Deterministic adversarial fleet harness.
+//!
+//! Runs a whole overlay — bootstrap service, honest [`crate::node`]
+//! agents, optional [`crate::adversary`] swarm — on one simulated
+//! network under a [`FaultPlan`] schedule, inside the vendored
+//! virtual-time runtime. Everything observable lands in a
+//! [`RobustnessReport`] whose JSON encoding is byte-identical for the
+//! same seed and config: the report is derived *only* from per-run
+//! state (node views, `SimNet` counters), never from the global obs
+//! registry, and every iteration that could leak map order is sorted.
+//!
+//! This is the §4.4 churn/resilience experiment generalized: instead of
+//! replaying a PlanetLab churn trace, the plan scripts partitions,
+//! storms, loss/jitter bursts and Sybil/eclipse swarms, and the report
+//! records how routing reachability degrades and reconverges.
+
+use crate::adversary::{spawn_swarm, AdversaryConfig, AdversaryStats};
+use crate::bootstrap::{BootstrapServer, Registry};
+use crate::message::MessageClass;
+use crate::node::{EgoistNode, NodeConfig, NodeView};
+use crate::transport::{FaultStats, SimNet};
+use egoist_graph::{DistanceMatrix, NodeId};
+use egoist_netsim::{FaultConfig, FaultPlan};
+use std::time::Duration;
+
+/// One fleet scenario.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Scenario name (lands in the report).
+    pub scenario: String,
+    /// Honest nodes (ids `0..n`).
+    pub n: usize,
+    /// Links per node.
+    pub k: usize,
+    /// Sybil identities (ids `n..n+sybils`).
+    pub sybils: usize,
+    pub seed: u64,
+    /// Virtual run length.
+    pub horizon: Duration,
+    /// Reachability sampling period.
+    pub sample_every: Duration,
+    /// Always-on fault floor (plan windows boost it).
+    pub fault: FaultConfig,
+    pub plan: FaultPlan,
+    /// Swarm script; `None` = no adversary.
+    pub adversary: Option<AdversaryConfig>,
+    pub epoch: Duration,
+    pub announce_interval: Duration,
+    pub ping_interval: Duration,
+    pub liveness_timeout: Duration,
+    /// Reachability fraction that counts as "reconverged" after a
+    /// fault window heals.
+    pub recovered_threshold: f64,
+}
+
+impl FleetConfig {
+    /// Test-scale defaults: short timers, clean network, no plan.
+    pub fn new(scenario: &str, n: usize, k: usize, seed: u64) -> Self {
+        FleetConfig {
+            scenario: scenario.to_string(),
+            n,
+            k,
+            sybils: 0,
+            seed,
+            horizon: Duration::from_secs(300),
+            sample_every: Duration::from_secs(10),
+            fault: FaultConfig::default(),
+            plan: FaultPlan::new(),
+            adversary: None,
+            epoch: Duration::from_secs(10),
+            announce_interval: Duration::from_secs(3),
+            ping_interval: Duration::from_secs(5),
+            liveness_timeout: Duration::from_secs(12),
+            recovered_threshold: 0.95,
+        }
+    }
+
+    fn total_ids(&self) -> usize {
+        self.n + self.sybils
+    }
+}
+
+/// The acceptance scenario: 30% frame loss throughout, a churn storm
+/// flapping a third of the fleet, then a two-way partition that heals.
+/// The fleet must reconverge to ≥95% route reachability before the
+/// horizon.
+pub fn storm_partition_profile(quick: bool) -> FleetConfig {
+    let (n, horizon) = if quick { (10, 360) } else { (18, 480) };
+    let mut cfg = FleetConfig::new("storm_partition", n, 3, 808);
+    cfg.horizon = Duration::from_secs(horizon);
+    cfg.fault = FaultConfig {
+        drop_chance: 0.3,
+        ..FaultConfig::default()
+    };
+    let storm: Vec<NodeId> = (0..n / 3).map(NodeId::from_index).collect();
+    let minority: Vec<NodeId> = (n - n / 4..n).map(NodeId::from_index).collect();
+    let h = horizon as f64;
+    cfg.plan = FaultPlan::new()
+        .churn_storm(0.25 * h, 0.5 * h, storm, 30.0, 0.4)
+        .partition(0.55 * h, 0.7 * h, vec![vec![], minority]);
+    cfg
+}
+
+/// The adversarial scenario: a Sybil swarm on one endpoint budget runs
+/// an eclipse lure against every honest node. Peer scoring must leave
+/// no attacker identity in any honest active view by the horizon.
+pub fn sybil_eclipse_profile(quick: bool) -> FleetConfig {
+    let (n, sybils, horizon) = if quick { (10, 5, 240) } else { (14, 7, 300) };
+    let mut cfg = FleetConfig::new("sybil_eclipse", n, 3, 4242);
+    cfg.sybils = sybils;
+    cfg.horizon = Duration::from_secs(horizon);
+    cfg.fault = FaultConfig {
+        drop_chance: 0.05,
+        ..FaultConfig::default()
+    };
+    cfg.adversary = Some(AdversaryConfig::swarm(
+        n,
+        sybils,
+        (0..n).map(NodeId::from_index).collect(),
+    ));
+    cfg
+}
+
+/// Recovery record for one scheduled fault window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowRecovery {
+    pub kind: String,
+    pub from: f64,
+    pub to: f64,
+    /// First sample time ≥ heal with reachability over the threshold.
+    pub reconverged_at: Option<f64>,
+    /// `reconverged_at - to`.
+    pub recovery_secs: Option<f64>,
+}
+
+/// Everything a chaos run measures. Same seed + config ⇒ identical
+/// report, byte-for-byte through [`RobustnessReport::to_json`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustnessReport {
+    pub schema: String,
+    pub scenario: String,
+    pub seed: u64,
+    pub n: usize,
+    pub sybils: usize,
+    pub k: usize,
+    pub horizon_secs: f64,
+    /// Reachable fraction of ordered honest pairs at the last sample.
+    pub final_reachability: f64,
+    /// Worst sample (shows the fault actually bit).
+    pub min_reachability: f64,
+    /// `(virtual_secs, reachability)` samples.
+    pub timeline: Vec<(f64, f64)>,
+    pub windows: Vec<WindowRecovery>,
+    pub fault: FaultStats,
+    pub join_retries: u64,
+    pub demotions: u64,
+    pub evictions: u64,
+    pub promotions: u64,
+    /// Misbehavior-score histogram over every honest ledger entry at
+    /// the end: buckets `0, 1, 2, 3, ≥4`.
+    pub score_hist: [u64; 5],
+    /// Sybil identities present in honest active views at the end
+    /// (the eclipse defense requires 0).
+    pub attacker_in_active_views: u64,
+    /// `(honest, sybil)` ban pairs.
+    pub attacker_ban_pairs: u64,
+    pub adversary: Option<AdversaryStats>,
+    /// Per message class: total honest frames/bytes sent.
+    pub overhead: Vec<(String, u64, u64)>,
+    pub decode_errors: u64,
+}
+
+impl RobustnessReport {
+    /// Deterministic JSON: fixed field order, `{:?}` float formatting
+    /// (shortest round-trip), no map iteration anywhere.
+    pub fn to_json(&self) -> String {
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let opt = |v: Option<f64>| v.map(&num).unwrap_or_else(|| "null".to_string());
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"egoist-robustness/v1\",\n");
+        s.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"n\": {},\n", self.n));
+        s.push_str(&format!("  \"sybils\": {},\n", self.sybils));
+        s.push_str(&format!("  \"k\": {},\n", self.k));
+        s.push_str(&format!(
+            "  \"horizon_secs\": {},\n",
+            num(self.horizon_secs)
+        ));
+        s.push_str(&format!(
+            "  \"final_reachability\": {},\n",
+            num(self.final_reachability)
+        ));
+        s.push_str(&format!(
+            "  \"min_reachability\": {},\n",
+            num(self.min_reachability)
+        ));
+        let tl: Vec<String> = self
+            .timeline
+            .iter()
+            .map(|&(t, r)| format!("[{}, {}]", num(t), num(r)))
+            .collect();
+        s.push_str(&format!("  \"timeline\": [{}],\n", tl.join(", ")));
+        let ws: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"kind\": \"{}\", \"from\": {}, \"to\": {}, \"reconverged_at\": {}, \"recovery_secs\": {}}}",
+                    w.kind,
+                    num(w.from),
+                    num(w.to),
+                    opt(w.reconverged_at),
+                    opt(w.recovery_secs)
+                )
+            })
+            .collect();
+        s.push_str(&format!("  \"windows\": [{}],\n", ws.join(", ")));
+        s.push_str(&format!(
+            "  \"fault\": {{\"passed\": {}, \"dropped\": {}, \"corrupted\": {}, \"rate_limited\": {}, \"cut\": {}, \"duplicated\": {}, \"reordered\": {}, \"jittered\": {}}},\n",
+            self.fault.passed,
+            self.fault.dropped,
+            self.fault.corrupted,
+            self.fault.rate_limited,
+            self.fault.cut,
+            self.fault.duplicated,
+            self.fault.reordered,
+            self.fault.jittered
+        ));
+        s.push_str(&format!(
+            "  \"peers\": {{\"join_retries\": {}, \"demotions\": {}, \"evictions\": {}, \"promotions\": {}, \"score_hist\": [{}, {}, {}, {}, {}]}},\n",
+            self.join_retries,
+            self.demotions,
+            self.evictions,
+            self.promotions,
+            self.score_hist[0],
+            self.score_hist[1],
+            self.score_hist[2],
+            self.score_hist[3],
+            self.score_hist[4]
+        ));
+        match &self.adversary {
+            Some(a) => s.push_str(&format!(
+                "  \"adversary\": {{\"in_active_views\": {}, \"ban_pairs\": {}, \"sent\": {}, \"throttled\": {}, \"pongs\": {}}},\n",
+                self.attacker_in_active_views, self.attacker_ban_pairs, a.sent, a.throttled, a.pongs
+            )),
+            None => s.push_str("  \"adversary\": null,\n"),
+        }
+        let oh: Vec<String> = self
+            .overhead
+            .iter()
+            .map(|(class, frames, bytes)| {
+                format!("\"{class}\": {{\"frames\": {frames}, \"bytes\": {bytes}}}")
+            })
+            .collect();
+        s.push_str(&format!("  \"overhead\": {{{}}},\n", oh.join(", ")));
+        s.push_str(&format!("  \"decode_errors\": {}\n", self.decode_errors));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Obs handles for fleet-level reconvergence tracking.
+struct FleetObs {
+    reachability: egoist_obs::Histogram,
+    reconvergence_secs: egoist_obs::Histogram,
+    routes_reachable: egoist_obs::Counter,
+    routes_missing: egoist_obs::Counter,
+}
+
+fn fleet_obs() -> &'static FleetObs {
+    static OBS: std::sync::OnceLock<FleetObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        FleetObs {
+            reachability: r.histogram("fleet.reachability"),
+            reconvergence_secs: r.histogram("fleet.reconvergence_secs"),
+            routes_reachable: r.counter("fleet.routes.reachable"),
+            routes_missing: r.counter("fleet.routes.missing"),
+        }
+    })
+}
+
+/// Deterministic per-pair delay in `[4, 16)` ms, varied by seed.
+fn delay_matrix(total: usize, seed: u64) -> DistanceMatrix {
+    DistanceMatrix::from_fn(total, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            let mix = (i as u64)
+                .wrapping_mul(31)
+                .wrapping_add((j as u64).wrapping_mul(17))
+                .wrapping_add(seed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            4.0 + (mix >> 32) as f64 % 12.0
+        }
+    })
+}
+
+/// Reachable fraction of ordered honest pairs whose both ends are not
+/// churned off by the plan at `now`.
+fn reachability(views: &[NodeView], plan: &FaultPlan, now: f64, n: usize) -> f64 {
+    let on: Vec<bool> = (0..n)
+        .map(|i| !plan.node_off(now, NodeId::from_index(i)))
+        .collect();
+    let mut reachable = 0u64;
+    let mut pairs = 0u64;
+    for (i, v) in views.iter().enumerate() {
+        if !on[i] {
+            continue;
+        }
+        for (j, &on_j) in on.iter().enumerate() {
+            if j == i || !on_j {
+                continue;
+            }
+            pairs += 1;
+            if v.next_hops[j].is_some() {
+                reachable += 1;
+            }
+        }
+    }
+    fleet_obs().routes_reachable.add(reachable);
+    fleet_obs().routes_missing.add(pairs - reachable);
+    if pairs == 0 {
+        1.0
+    } else {
+        reachable as f64 / pairs as f64
+    }
+}
+
+/// Run one scenario to completion inside the paused-clock runtime and
+/// return its report.
+pub fn run_fleet(cfg: &FleetConfig) -> RobustnessReport {
+    tokio::runtime::block_on_paused(run_fleet_inner(cfg.clone()))
+}
+
+async fn run_fleet_inner(cfg: FleetConfig) -> RobustnessReport {
+    let total = cfg.total_ids();
+    let boot = NodeId::from_index(total);
+    let delays = delay_matrix(total + 1, cfg.seed);
+    let net = SimNet::with_plan(delays, cfg.fault, Some(cfg.plan.clone()), cfg.seed);
+    tokio::spawn(BootstrapServer::new(net.endpoint(boot), Registry::default()).run());
+
+    let mut handles = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let mut nc = NodeConfig::new(NodeId::from_index(i), total, cfg.k);
+        nc.epoch = cfg.epoch;
+        nc.announce_interval = cfg.announce_interval;
+        nc.ping_interval = cfg.ping_interval;
+        nc.liveness_timeout = cfg.liveness_timeout;
+        nc.bootstrap = Some(boot);
+        nc.seed = cfg.seed.wrapping_mul(1031).wrapping_add(i as u64);
+        // Bit-reproducible runs: keep the wiring computation on the
+        // executor thread (blocking-pool wakeups are a real-time race).
+        nc.inline_rewire = true;
+        handles.push(EgoistNode::new(nc, net.endpoint(NodeId::from_index(i))).spawn());
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+    let adversary_stats = cfg
+        .adversary
+        .as_ref()
+        .map(|a| spawn_swarm(a, |id| net.endpoint(id)));
+
+    // Sample reachability over the horizon.
+    let sample = cfg.sample_every.as_secs_f64();
+    let samples = (cfg.horizon.as_secs_f64() / sample).floor() as usize;
+    let mut timeline = Vec::with_capacity(samples);
+    for s in 1..=samples {
+        tokio::time::sleep(cfg.sample_every).await;
+        let now = s as f64 * sample;
+        let views: Vec<NodeView> = handles.iter().map(|h| h.snapshot()).collect();
+        let r = reachability(&views, &cfg.plan, now, cfg.n);
+        fleet_obs().reachability.observe(r);
+        timeline.push((now, r));
+    }
+
+    // Final state, before any Leave floods from shutdown.
+    let views: Vec<NodeView> = handles.iter().map(|h| h.snapshot()).collect();
+    let fault = net.fault_stats();
+    for h in handles {
+        h.stop().await;
+    }
+    // Swarm tasks die with the runtime; their stats cell outlives them.
+
+    // Per-window reconvergence from the sampled timeline.
+    let windows: Vec<WindowRecovery> = cfg
+        .plan
+        .windows
+        .iter()
+        .map(|w| {
+            let reconverged_at = timeline
+                .iter()
+                .find(|&&(t, r)| t >= w.to && r >= cfg.recovered_threshold)
+                .map(|&(t, _)| t);
+            let recovery_secs = reconverged_at.map(|t| t - w.to);
+            if let Some(secs) = recovery_secs {
+                fleet_obs().reconvergence_secs.observe(secs);
+            }
+            WindowRecovery {
+                kind: w.fault.label().to_string(),
+                from: w.from,
+                to: w.to,
+                reconverged_at,
+                recovery_secs,
+            }
+        })
+        .collect();
+
+    let sybil_ids: Vec<NodeId> = (cfg.n..total).map(NodeId::from_index).collect();
+    let mut score_hist = [0u64; 5];
+    let mut attacker_in_active = 0u64;
+    let mut ban_pairs = 0u64;
+    let (mut join_retries, mut demotions, mut evictions, mut promotions) = (0u64, 0, 0, 0);
+    let mut decode_errors = 0u64;
+    for v in &views {
+        join_retries += v.join_retries;
+        demotions += v.demotions;
+        evictions += v.evictions;
+        promotions += v.promotions;
+        decode_errors += v.decode_errors;
+        for &m in &v.misbehavior {
+            score_hist[(m as usize).min(4)] += 1;
+        }
+        attacker_in_active += v.wiring.iter().filter(|w| sybil_ids.contains(w)).count() as u64;
+        ban_pairs += v.banned.iter().filter(|b| sybil_ids.contains(b)).count() as u64;
+    }
+    let overhead: Vec<(String, u64, u64)> = MessageClass::ALL
+        .iter()
+        .map(|&c| {
+            let frames: u64 = views.iter().map(|v| v.overhead.frames(c)).sum();
+            let bytes: u64 = views.iter().map(|v| v.overhead.bytes(c)).sum();
+            (c.label().to_string(), frames, bytes)
+        })
+        .collect();
+
+    let final_reachability = timeline.last().map(|&(_, r)| r).unwrap_or(1.0);
+    let min_reachability = timeline
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min)
+        .min(final_reachability);
+    RobustnessReport {
+        schema: "egoist-robustness/v1".to_string(),
+        scenario: cfg.scenario.clone(),
+        seed: cfg.seed,
+        n: cfg.n,
+        sybils: cfg.sybils,
+        k: cfg.k,
+        horizon_secs: cfg.horizon.as_secs_f64(),
+        final_reachability,
+        min_reachability,
+        timeline,
+        windows,
+        fault,
+        join_retries,
+        demotions,
+        evictions,
+        promotions,
+        score_hist,
+        attacker_in_active_views: attacker_in_active,
+        attacker_ban_pairs: ban_pairs,
+        adversary: adversary_stats.map(|s| *s.lock()),
+        overhead,
+        decode_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fleet_converges_and_reports() {
+        let mut cfg = FleetConfig::new("smoke", 6, 2, 7);
+        cfg.horizon = Duration::from_secs(120);
+        let report = run_fleet(&cfg);
+        assert_eq!(report.schema, "egoist-robustness/v1");
+        assert_eq!(report.timeline.len(), 12);
+        assert!(
+            report.final_reachability >= 0.99,
+            "clean fleet should fully converge: {}",
+            report.final_reachability
+        );
+        assert_eq!(report.attacker_in_active_views, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"egoist-robustness/v1\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn same_seed_fleet_reports_are_byte_identical() {
+        let mut cfg = FleetConfig::new("repeat", 5, 2, 99);
+        cfg.horizon = Duration::from_secs(90);
+        cfg.fault = FaultConfig {
+            drop_chance: 0.2,
+            corrupt_chance: 0.02,
+            ..FaultConfig::default()
+        };
+        cfg.plan = FaultPlan::new().partition(30.0, 50.0, vec![vec![], vec![NodeId(4)]]);
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

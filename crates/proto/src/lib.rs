@@ -27,16 +27,24 @@
 //!   §4.3's analytic overhead formulas.
 //! * [`audit`] — the §3.4 countermeasure: compare declared link-state
 //!   costs against independent (Vivaldi) estimates and flag liars.
+//! * [`adversary`] — scripted Sybil swarms and eclipse lures on a
+//!   shared endpoint budget, for exercising the peer-scoring defenses.
+//! * [`fleet`] — the deterministic adversarial fleet harness: a whole
+//!   overlay plus adversaries under a `FaultPlan`, reported as
+//!   byte-reproducible robustness JSON.
 
+pub mod adversary;
 pub mod audit;
 pub mod bootstrap;
 pub mod codec;
+pub mod fleet;
 pub mod lsdb;
 pub mod message;
 pub mod node;
 pub mod overhead;
 pub mod transport;
 
+pub use fleet::{run_fleet, FleetConfig, RobustnessReport};
 pub use message::Message;
 pub use node::{EgoistNode, NodeConfig, NodeHandle, RewireMode};
 pub use transport::{SimNet, SimTransport, Transport, UdpTransport};

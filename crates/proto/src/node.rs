@@ -54,6 +54,13 @@ struct ProtoObs {
     recv_bytes: Vec<egoist_obs::Counter>,
     decode_errors: egoist_obs::Counter,
     join_secs: egoist_obs::Histogram,
+    join_retries: egoist_obs::Counter,
+    banned_frames: egoist_obs::Counter,
+    demotions: egoist_obs::Counter,
+    evictions: egoist_obs::Counter,
+    promotions: egoist_obs::Counter,
+    passive_probes: egoist_obs::Counter,
+    peer_score: egoist_obs::Histogram,
 }
 
 fn proto_obs() -> &'static ProtoObs {
@@ -73,6 +80,13 @@ fn proto_obs() -> &'static ProtoObs {
             recv_bytes: table("recv", "bytes"),
             decode_errors: r.counter("proto.decode_errors"),
             join_secs: r.histogram("proto.convergence.join_secs"),
+            join_retries: r.counter("proto.join.retries"),
+            banned_frames: r.counter("proto.drop.banned_sender"),
+            demotions: r.counter("proto.peer.demotions"),
+            evictions: r.counter("proto.peer.evictions"),
+            promotions: r.counter("proto.peer.promotions"),
+            passive_probes: r.counter("proto.peer.passive_probes"),
+            peer_score: r.histogram("proto.peer.score"),
         }
     })
 }
@@ -110,6 +124,30 @@ pub struct NodeConfig {
     /// Bootstrap service id, if joining an existing overlay.
     pub bootstrap: Option<NodeId>,
     pub seed: u64,
+    /// HyParView-style cap on maintained links. The paper's protocol is
+    /// `O(n)`, so the default is unbounded; chaos profiles tighten it.
+    pub active_view_size: usize,
+    /// Cap on remembered-but-unwired peers (partition-healing reserve).
+    pub passive_view_size: usize,
+    /// First join-retry delay; doubles per attempt (deterministic jitter).
+    pub join_backoff_base: Duration,
+    /// Ceiling on the join-retry delay.
+    pub join_backoff_cap: Duration,
+    /// An LSA claiming a link to us priced more than this factor away
+    /// from our own measurement is a flood inconsistency.
+    pub audit_ratio: f64,
+    /// Misbehavior points (decode garbage ×2, flood inconsistency ×1,
+    /// decaying 1/epoch) at which a peer is banned for good.
+    pub ban_threshold: u32,
+    /// Consecutive unanswered pings after which an established neighbor
+    /// is demoted to the passive view (recoverable, unlike a ban).
+    pub demote_after: u32,
+    /// Run the wiring computation on the executor thread instead of
+    /// `spawn_blocking`. Blocking-pool completions are delivered by real
+    /// threads at racy points in the scheduler queue, so bit-reproducible
+    /// runs (the chaos fleet harness) need the inline path; the live
+    /// deployment keeps the pool to stay responsive.
+    pub inline_rewire: bool,
 }
 
 impl NodeConfig {
@@ -128,6 +166,14 @@ impl NodeConfig {
             cost_inflation: 1.0,
             bootstrap: None,
             seed: id.0 as u64,
+            active_view_size: usize::MAX,
+            passive_view_size: 96,
+            join_backoff_base: Duration::from_secs(1),
+            join_backoff_cap: Duration::from_secs(30),
+            audit_ratio: 4.0,
+            ban_threshold: 4,
+            demote_after: 3,
+            inline_rewire: false,
         }
     }
 }
@@ -146,6 +192,17 @@ pub struct NodeView {
     pub overhead: OverheadCounters,
     /// Frames that failed to decode (corruption, garbage).
     pub decode_errors: u64,
+    /// Remembered-but-unwired peers (bounded; survives LSDB expiry, so a
+    /// healed partition can be re-probed without the bootstrap seed).
+    pub passive_view: Vec<NodeId>,
+    /// Peers evicted for misbehavior (permanent).
+    pub banned: Vec<NodeId>,
+    /// Current misbehavior points per node id (decays each epoch).
+    pub misbehavior: Vec<u32>,
+    pub join_retries: u64,
+    pub demotions: u64,
+    pub evictions: u64,
+    pub promotions: u64,
 }
 
 /// Handle to a spawned node.
@@ -168,6 +225,19 @@ impl NodeHandle {
     pub fn snapshot(&self) -> NodeView {
         self.view.read().clone()
     }
+}
+
+/// Per-peer health ledger. Two independent strike families: ping
+/// silence is *responsiveness* (recoverable — loss and partitions hit
+/// honest peers too, so it only ever demotes), while decode garbage and
+/// flood inconsistencies are *misbehavior* (a peer emitting them is
+/// broken or hostile; enough points and it is banned outright).
+#[derive(Clone, Copy, Debug, Default)]
+struct PeerScore {
+    /// Consecutive pings with no pong; reset by any frame from the peer.
+    silent_pings: u32,
+    /// Accumulated misbehavior points; decays by 1 each epoch.
+    misbehavior: u32,
 }
 
 /// EWMA estimator for one-way delay.
@@ -214,6 +284,16 @@ pub struct EgoistNode<T: Transport> {
     overhead: OverheadCounters,
     /// Set once the node has wired at least one link (the §3.1 join).
     join_wired: bool,
+    scores: Vec<PeerScore>,
+    banned: Vec<bool>,
+    /// Passive view, LRU order (oldest first). Bounded by
+    /// `passive_view_size`; retains ids past LSDB expiry.
+    passive: Vec<NodeId>,
+    first_heard: Vec<Option<Instant>>,
+    join_retries: u64,
+    demotions: u64,
+    evictions: u64,
+    promotions: u64,
 }
 
 impl<T: Transport> EgoistNode<T> {
@@ -241,6 +321,14 @@ impl<T: Transport> EgoistNode<T> {
             decode_errors: 0,
             overhead: OverheadCounters::default(),
             join_wired: false,
+            scores: vec![PeerScore::default(); n],
+            banned: vec![false; n],
+            passive: Vec::new(),
+            first_heard: vec![None; n],
+            join_retries: 0,
+            demotions: 0,
+            evictions: 0,
+            promotions: 0,
             cfg,
             transport,
         }
@@ -288,9 +376,118 @@ impl<T: Transport> EgoistNode<T> {
                 known.push(NodeId::from_index(j));
             }
         }
-        known.retain(|&p| p != self.cfg.id && p.index() < self.cfg.n);
+        known.retain(|&p| p != self.cfg.id && p.index() < self.cfg.n && !self.banned[p.index()]);
         known.sort_unstable();
         known
+    }
+
+    /// Remember a peer in the passive view (LRU move-to-back, bounded).
+    fn remember_passive(&mut self, peer: NodeId) {
+        if peer == self.cfg.id
+            || peer.index() >= self.cfg.n
+            || self.banned[peer.index()]
+            || self.wiring.contains(&peer)
+        {
+            return;
+        }
+        self.passive.retain(|&p| p != peer);
+        self.passive.push(peer);
+        if self.passive.len() > self.cfg.passive_view_size {
+            let excess = self.passive.len() - self.cfg.passive_view_size;
+            self.passive.drain(..excess);
+        }
+    }
+
+    /// Add misbehavior points; at the threshold the peer is banned and
+    /// purged from every table. Returns whether a ban happened.
+    fn punish(&mut self, peer: NodeId, points: u32) -> bool {
+        if peer.index() >= self.cfg.n || self.banned[peer.index()] {
+            return false;
+        }
+        let score = {
+            let s = &mut self.scores[peer.index()];
+            s.misbehavior = s.misbehavior.saturating_add(points);
+            s.misbehavior
+        };
+        if score < self.cfg.ban_threshold {
+            return false;
+        }
+        self.banned[peer.index()] = true;
+        self.evictions += 1;
+        proto_obs().evictions.inc();
+        proto_obs().peer_score.observe(score as f64);
+        egoist_obs::event_at(
+            (self.now_secs() * 1e9) as u64,
+            "proto.peer.ban",
+            &[
+                ("node", (self.cfg.id.index() as u64).into()),
+                ("peer", (peer.index() as u64).into()),
+                ("score", (score as u64).into()),
+            ],
+        );
+        self.lsdb.remove(peer);
+        self.est[peer.index()] = Ewma::new();
+        self.last_heard[peer.index()] = None;
+        self.wiring.retain(|&w| w != peer);
+        self.passive.retain(|&p| p != peer);
+        self.pending_pings.retain(|_, (to, _)| *to != peer);
+        true
+    }
+
+    /// Demote an unresponsive established neighbor: drop the link, keep
+    /// the peer in the passive view for later re-probing.
+    fn demote(&mut self, peer: NodeId) {
+        if !self.wiring.contains(&peer) {
+            return;
+        }
+        self.wiring.retain(|&w| w != peer);
+        self.demotions += 1;
+        proto_obs().demotions.inc();
+        egoist_obs::event_at(
+            (self.now_secs() * 1e9) as u64,
+            "proto.peer.demote",
+            &[
+                ("node", (self.cfg.id.index() as u64).into()),
+                ("peer", (peer.index() as u64).into()),
+            ],
+        );
+        self.remember_passive(peer);
+    }
+
+    /// §3.4-style flood audit: an LSA whose origin claims a link *to us*
+    /// priced more than `audit_ratio` away from our own measurement of
+    /// that origin is lying (the eclipse lure announces near-zero costs;
+    /// the Fig. 4 free rider's 2× inflation stays under the default 4×).
+    /// Newly-heard origins get a grace period — their first
+    /// announcements carry a placeholder cost until their own pings
+    /// resolve. Returns whether the LSA may be applied and forwarded.
+    fn audit_lsa(&mut self, lsa: &LinkStateAnnouncement) -> bool {
+        let o = lsa.origin;
+        if o.index() >= self.cfg.n {
+            return true;
+        }
+        if self.banned[o.index()] {
+            return false;
+        }
+        let my_est = self.est[o.index()].value;
+        if my_est.is_nan() || my_est <= 0.0 {
+            return true;
+        }
+        let grace = self.cfg.announce_interval.mul_f64(3.0);
+        match self.first_heard[o.index()] {
+            Some(at) if at.elapsed() > grace => {}
+            _ => return true,
+        }
+        let offending = lsa.links.iter().any(|l| {
+            l.neighbor == self.cfg.id
+                && ((l.cost as f64) < my_est / self.cfg.audit_ratio
+                    || (l.cost as f64) > my_est * self.cfg.audit_ratio)
+        });
+        if offending {
+            self.punish(o, 1);
+            return false;
+        }
+        true
     }
 
     /// Flood a message to overlay neighbors (out-links) and known
@@ -303,7 +500,14 @@ impl<T: Transport> EgoistNode<T> {
                 targets.push(from);
             }
         }
-        targets.retain(|&t| Some(t) != except && t != self.cfg.id);
+        targets.retain(|&t| {
+            Some(t) != except
+                && t != self.cfg.id
+                && !(t.index() < self.cfg.n && self.banned[t.index()])
+        });
+        // Sorted send order: flood fan-out must not depend on LSDB map
+        // iteration, or same-seed runs diverge across processes.
+        targets.sort_unstable();
         for t in targets {
             self.send_msg(t, msg).await;
         }
@@ -335,21 +539,53 @@ impl<T: Transport> EgoistNode<T> {
     }
 
     /// Send measurement pings to every known candidate (§3.1's `O(n)`
-    /// per-epoch measurements).
+    /// per-epoch measurements) plus a couple of passive-view probes.
     async fn send_pings(&mut self) {
-        // Prune stale pending pings.
+        // Expire stale pending pings, charging each to its peer's
+        // responsiveness ledger (sorted so same-seed runs agree).
         let deadline = self.cfg.liveness_timeout;
+        let mut expired: Vec<NodeId> = self
+            .pending_pings
+            .values()
+            .filter(|(_, at)| at.elapsed() >= deadline)
+            .map(|&(peer, _)| peer)
+            .collect();
+        expired.sort_unstable();
         self.pending_pings
             .retain(|_, (_, at)| at.elapsed() < deadline);
+        for peer in expired {
+            if peer.index() >= self.cfg.n || self.banned[peer.index()] {
+                continue;
+            }
+            let s = &mut self.scores[peer.index()];
+            s.silent_pings = s.silent_pings.saturating_add(1);
+            if s.silent_pings >= self.cfg.demote_after {
+                self.demote(peer);
+            }
+        }
+
         let mut targets = self.known_peers();
         if let Some(b) = self.cfg.bootstrap {
             targets.retain(|&t| t != b);
-            // Datagrams are lossy: a node that still knows nobody keeps
-            // re-asking the bootstrap service until the join sticks.
-            if targets.is_empty() {
-                self.send_msg(b, &Message::BootstrapRequest { from: self.cfg.id })
-                    .await;
-            }
+        }
+        // Passive probes: re-ping the two coldest remembered peers that
+        // are not already candidates. This is what heals a partition —
+        // the other side has expired from the LSDB everywhere, and only
+        // the passive view still knows those ids exist.
+        let fresh = |last: Option<Instant>| matches!(last, Some(at) if at.elapsed() < self.cfg.liveness_timeout);
+        let cold: Vec<NodeId> = self
+            .passive
+            .iter()
+            .copied()
+            .filter(|p| !targets.contains(p) && !fresh(self.last_heard[p.index()]))
+            .take(2)
+            .collect();
+        for p in cold {
+            // Move to the back so probing rotates through the view.
+            self.passive.retain(|&q| q != p);
+            self.passive.push(p);
+            proto_obs().passive_probes.inc();
+            targets.push(p);
         }
         for peer in targets {
             let nonce = self.next_nonce;
@@ -419,9 +655,7 @@ impl<T: Transport> EgoistNode<T> {
         }
         let seed = self.rng_next();
 
-        // The k-median local search is the expensive bit; run it off the
-        // async thread.
-        let new_wiring = tokio::task::spawn_blocking(move || {
+        let job = move || {
             let residual = apsp(&announced);
             let prefs = Preferences::uniform(n);
             let finite_max = direct
@@ -443,16 +677,43 @@ impl<T: Transport> EgoistNode<T> {
             };
             let mut rng = StdRng::seed_from_u64(seed);
             policy.instantiate().wire(&ctx, &mut rng)
-        })
-        .await
-        .unwrap_or_default();
+        };
+        // The k-median local search is the expensive bit; run it off the
+        // async thread — unless the run must be bit-reproducible, in
+        // which case blocking-pool wakeup order is a race we avoid.
+        let new_wiring = if self.cfg.inline_rewire {
+            job()
+        } else {
+            tokio::task::spawn_blocking(job).await.unwrap_or_default()
+        };
 
+        let mut new_wiring = new_wiring;
+        if new_wiring.len() > self.cfg.active_view_size {
+            new_wiring.truncate(self.cfg.active_view_size);
+        }
         let mut old = self.wiring.clone();
         let mut new = new_wiring.clone();
         old.sort_unstable();
         new.sort_unstable();
         let changed = old != new;
+        // View bookkeeping: passive peers that won a link are promotions;
+        // peers that lost theirs stay remembered for later re-probing.
+        for &w in &new_wiring {
+            if old.binary_search(&w).is_err() && self.passive.contains(&w) {
+                self.promotions += 1;
+                proto_obs().promotions.inc();
+            }
+        }
         self.wiring = new_wiring;
+        let dropped: Vec<NodeId> = old
+            .iter()
+            .copied()
+            .filter(|w| new.binary_search(w).is_err())
+            .collect();
+        for w in dropped {
+            self.remember_passive(w);
+        }
+        self.passive.retain(|p| new.binary_search(p).is_err());
         changed
     }
 
@@ -485,14 +746,33 @@ impl<T: Transport> EgoistNode<T> {
         v.next_hops = next_hops;
         v.overhead = self.overhead.clone();
         v.decode_errors = self.decode_errors;
+        v.passive_view = self.passive.clone();
+        v.banned = (0..self.cfg.n)
+            .filter(|&j| self.banned[j])
+            .map(NodeId::from_index)
+            .collect();
+        v.misbehavior = self.scores.iter().map(|s| s.misbehavior).collect();
+        v.join_retries = self.join_retries;
+        v.demotions = self.demotions;
+        v.evictions = self.evictions;
+        v.promotions = self.promotions;
     }
 
     async fn handle_frame(&mut self, from: NodeId, frame: bytes::Bytes) {
+        if from.index() < self.cfg.n && self.banned[from.index()] {
+            proto_obs().banned_frames.inc();
+            return;
+        }
         let msg = match decode(&frame) {
             Ok(m) => m,
             Err(_) => {
                 self.decode_errors += 1;
                 proto_obs().decode_errors.inc();
+                // Garbage from a known sender scores one misbehavior
+                // point. Link corruption hits honest peers too, so the
+                // rate matters, not the event: background corruption
+                // stays under the 1/epoch decay, a garbage flood does not.
+                self.punish(from, 1);
                 return;
             }
         };
@@ -504,12 +784,19 @@ impl<T: Transport> EgoistNode<T> {
         }
         if from.index() < self.cfg.n {
             self.last_heard[from.index()] = Some(Instant::now());
+            if self.first_heard[from.index()].is_none() {
+                self.first_heard[from.index()] = Some(Instant::now());
+            }
+            self.scores[from.index()].silent_pings = 0;
         }
         match msg {
             Message::BootstrapResponse { peers } => {
+                for &p in &peers {
+                    self.remember_passive(p);
+                }
                 // Hello up to three peers for LSDB sync redundancy.
                 for p in peers.into_iter().take(3) {
-                    if p != self.cfg.id {
+                    if p != self.cfg.id && !(p.index() < self.cfg.n && self.banned[p.index()]) {
                         self.send_msg(p, &Message::Hello { from: self.cfg.id })
                             .await;
                     }
@@ -522,12 +809,16 @@ impl<T: Transport> EgoistNode<T> {
             Message::LsdbSync { lsas } => {
                 let now = self.now_secs();
                 for lsa in lsas {
-                    self.lsdb.apply(lsa, now);
+                    if self.audit_lsa(&lsa) {
+                        self.lsdb.apply(lsa, now);
+                    }
                 }
             }
             Message::LinkState(lsa) => {
                 let now = self.now_secs();
-                if self.lsdb.apply(lsa.clone(), now) {
+                // Audited before apply *and* before forward: a rejected
+                // LSA is neither believed nor propagated.
+                if self.audit_lsa(&lsa) && self.lsdb.apply(lsa.clone(), now) {
                     self.flood(&Message::LinkState(lsa), Some(from)).await;
                 }
             }
@@ -592,11 +883,18 @@ impl<T: Transport> EgoistNode<T> {
 
     /// The agent main loop.
     pub async fn run(mut self, mut shutdown: oneshot::Receiver<()>) {
-        // Join.
+        // Join attempt 0; retries ride the backoff branch below, so an
+        // unreachable seed costs a capped retry stream, never a panic.
+        let mut join_backoff = crate::bootstrap::Backoff::new(
+            self.cfg.join_backoff_base,
+            self.cfg.join_backoff_cap,
+            self.cfg.seed,
+        );
         if let Some(b) = self.cfg.bootstrap {
             self.send_msg(b, &Message::BootstrapRequest { from: self.cfg.id })
                 .await;
         }
+        let mut next_join_at = Instant::now() + join_backoff.next_delay();
 
         // Staggered epoch start: node i first re-wires at i·T/n (§4.2).
         let stagger = self
@@ -661,6 +959,25 @@ impl<T: Transport> EgoistNode<T> {
                     // join cascade would stall one epoch per node.
                     self.announce().await;
                 }
+                _ = tokio::time::sleep_until(next_join_at) => {
+                    // Degradation watchdog: while this node knows nobody
+                    // (never joined, or cut off by a partition), re-ask
+                    // the seed and probe the passive view on a capped
+                    // exponential backoff. Healthy nodes just re-arm.
+                    if self.known_peers().is_empty() {
+                        self.join_retries += 1;
+                        proto_obs().join_retries.inc();
+                        if let Some(b) = self.cfg.bootstrap {
+                            self.send_msg(b, &Message::BootstrapRequest { from: self.cfg.id })
+                                .await;
+                        }
+                        self.send_pings().await;
+                        next_join_at = Instant::now() + join_backoff.next_delay();
+                    } else {
+                        join_backoff.reset();
+                        next_join_at = Instant::now() + self.cfg.ping_interval;
+                    }
+                }
                 _ = epoch_timer.tick() => {
                     // Immediate-mode failure reaction happens here too:
                     // drop links whose peer went silent.
@@ -685,6 +1002,18 @@ impl<T: Transport> EgoistNode<T> {
                     if !peers.is_empty() {
                         let pick = peers[(self.rng_next() as usize) % peers.len()];
                         self.send_msg(pick, &Message::Hello { from: self.cfg.id }).await;
+                    }
+                    // Misbehavior decay (forgives background corruption)
+                    // plus score export and passive-view upkeep.
+                    for j in 0..self.cfg.n {
+                        let m = self.scores[j].misbehavior;
+                        if m > 0 {
+                            proto_obs().peer_score.observe(m as f64);
+                            self.scores[j].misbehavior = m - 1;
+                        }
+                    }
+                    for p in peers {
+                        self.remember_passive(p);
                     }
                     self.publish();
                 }
@@ -987,6 +1316,96 @@ mod tests {
             let v1 = handles[1].snapshot();
             // Direct estimates are honest everywhere.
             assert!((v1.direct_est[0] - 10.0).abs() < 3.0);
+            for h in handles {
+                h.stop().await;
+            }
+        });
+    }
+
+    #[test]
+    fn unreachable_seed_is_nonfatal_and_join_retries_back_off() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(DistanceMatrix::off_diagonal(1001, 2.0));
+            // No bootstrap endpoint exists yet: every request is dropped.
+            let mut handles = Vec::new();
+            for i in 0..2 {
+                let mut cfg = NodeConfig::new(NodeId::from_index(i), 2, 1);
+                cfg.epoch = Duration::from_secs(10);
+                cfg.announce_interval = Duration::from_secs(3);
+                cfg.ping_interval = Duration::from_secs(5);
+                cfg.liveness_timeout = Duration::from_secs(12);
+                cfg.bootstrap = Some(BOOT);
+                cfg.join_backoff_base = Duration::from_millis(500);
+                cfg.join_backoff_cap = Duration::from_secs(5);
+                handles.push(EgoistNode::new(cfg, net.endpoint(NodeId::from_index(i))).spawn());
+            }
+            tokio::time::sleep(Duration::from_secs(40)).await;
+            for (i, h) in handles.iter().enumerate() {
+                let v = h.snapshot();
+                assert!(v.wiring.is_empty(), "node {i} wired with no seed?");
+                assert!(
+                    v.join_retries >= 4,
+                    "node {i} retried only {} times in 40 s",
+                    v.join_retries
+                );
+                // Capped backoff: retries are bounded too (not a hot loop).
+                assert!(v.join_retries <= 40, "node {i}: {} retries", v.join_retries);
+            }
+            // The seed comes up late; the next capped retry finds it and
+            // the join completes.
+            tokio::spawn(BootstrapServer::new(net.endpoint(BOOT), Registry::default()).run());
+            tokio::time::sleep(Duration::from_secs(40)).await;
+            for (i, h) in handles.iter().enumerate() {
+                let v = h.snapshot();
+                assert_eq!(v.wiring.len(), 1, "node {i} still unwired: {v:?}");
+            }
+            for h in handles {
+                h.stop().await;
+            }
+        });
+    }
+
+    #[test]
+    fn garbage_flooder_gets_banned() {
+        tokio::runtime::block_on_paused(async {
+            let net = SimNet::clean(DistanceMatrix::off_diagonal(1001, 2.0));
+            tokio::spawn(BootstrapServer::new(net.endpoint(BOOT), Registry::default()).run());
+            let mut handles = Vec::new();
+            for i in 0..2 {
+                let mut cfg = NodeConfig::new(NodeId::from_index(i), 3, 1);
+                cfg.epoch = Duration::from_secs(10);
+                cfg.announce_interval = Duration::from_secs(3);
+                cfg.ping_interval = Duration::from_secs(5);
+                cfg.liveness_timeout = Duration::from_secs(12);
+                cfg.bootstrap = Some(BOOT);
+                handles.push(EgoistNode::new(cfg, net.endpoint(NodeId::from_index(i))).spawn());
+                tokio::time::sleep(Duration::from_millis(100)).await;
+            }
+            tokio::time::sleep(Duration::from_secs(15)).await;
+            // Node 2 never speaks the protocol: it floods garbage at the
+            // others faster than the 1/epoch decay forgives.
+            let flooder = net.endpoint(NodeId(2));
+            for _ in 0..8 {
+                for target in [NodeId(0), NodeId(1)] {
+                    flooder
+                        .send(target, bytes::Bytes::from_static(b"\xFFnoise\x00"))
+                        .await
+                        .unwrap();
+                }
+                tokio::time::sleep(Duration::from_millis(300)).await;
+            }
+            // Views refresh at epoch ticks; wait out a full epoch.
+            tokio::time::sleep(Duration::from_secs(12)).await;
+            for (i, h) in handles.iter().enumerate() {
+                let v = h.snapshot();
+                assert!(
+                    v.banned.contains(&NodeId(2)),
+                    "node {i} did not ban the flooder: {:?}",
+                    v.banned
+                );
+                assert!(!v.wiring.contains(&NodeId(2)));
+                assert!(!v.passive_view.contains(&NodeId(2)));
+            }
             for h in handles {
                 h.stop().await;
             }

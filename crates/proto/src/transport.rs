@@ -8,14 +8,31 @@
 
 use bytes::Bytes;
 use egoist_graph::{DistanceMatrix, NodeId};
-use egoist_netsim::fault::{FaultConfig, FaultInjector, Verdict};
+use egoist_netsim::fault::{FaultConfig, FaultInjector, FaultPlan, Verdict};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tokio::net::UdpSocket;
 use tokio::sync::mpsc;
+
+/// Obs handles for transport-level drops that used to vanish silently.
+struct TransportObs {
+    unknown_sender: egoist_obs::Counter,
+    no_endpoint: egoist_obs::Counter,
+}
+
+fn transport_obs() -> &'static TransportObs {
+    static OBS: OnceLock<TransportObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = egoist_obs::registry();
+        TransportObs {
+            unknown_sender: r.counter("proto.drop.unknown_sender"),
+            no_endpoint: r.counter("proto.drop.no_endpoint"),
+        }
+    })
+}
 
 /// A datagram transport between overlay nodes.
 pub trait Transport: Send + 'static {
@@ -60,11 +77,22 @@ impl SimNet {
     /// Build a network with per-pair one-way delays (ms) and a fault
     /// injector configuration.
     pub fn new(delays: DistanceMatrix, fault: FaultConfig, seed: u64) -> Self {
+        Self::with_plan(delays, fault, None, seed)
+    }
+
+    /// Build a network with a scheduled [`FaultPlan`] (partitions, churn
+    /// storms, loss/jitter windows) on top of the base fault config.
+    pub fn with_plan(
+        delays: DistanceMatrix,
+        fault: FaultConfig,
+        plan: Option<FaultPlan>,
+        seed: u64,
+    ) -> Self {
         SimNet {
             inner: Arc::new(SimNetInner {
                 delays,
                 txs: Mutex::new(HashMap::new()),
-                fault: Mutex::new(FaultInjector::new(fault, seed)),
+                fault: Mutex::new(FaultInjector::with_plan(fault, plan, seed)),
                 epoch: tokio::time::Instant::now(),
                 frames_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
@@ -104,6 +132,34 @@ impl SimNet {
     pub fn bytes_sent(&self) -> u64 {
         self.inner.bytes_sent.load(Ordering::Relaxed)
     }
+
+    /// Snapshot of the shared fault injector's verdict counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        let f = self.inner.fault.lock();
+        FaultStats {
+            passed: f.passed,
+            dropped: f.dropped,
+            corrupted: f.corrupted,
+            rate_limited: f.rate_limited,
+            cut: f.cut,
+            duplicated: f.duplicated,
+            reordered: f.reordered,
+            jittered: f.jittered,
+        }
+    }
+}
+
+/// Verdict counters of a [`SimNet`]'s injector, for robustness reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub passed: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub rate_limited: u64,
+    pub cut: u64,
+    pub duplicated: u64,
+    pub reordered: u64,
+    pub jittered: u64,
 }
 
 /// One node's endpoint on a [`SimNet`].
@@ -126,24 +182,41 @@ impl Transport for SimTransport {
 
         let mut data = frame.to_vec();
         let now = self.net.epoch.elapsed().as_secs_f64();
-        let verdict = self.net.fault.lock().process(now, &mut data);
-        if verdict == Verdict::Drop {
-            return Ok(()); // datagram lost
+        let from = self.id;
+        let verdict = self
+            .net
+            .fault
+            .lock()
+            .process_addressed(now, from, to, &mut data);
+        if matches!(verdict, Verdict::Drop | Verdict::Cut) {
+            return Ok(()); // datagram lost (loss or partition/storm cut)
         }
         let Some(tx) = self.net.txs.lock().get(&to).cloned() else {
+            transport_obs().no_endpoint.inc();
             return Ok(()); // peer gone: datagram lost
         };
-        let from = self.id;
         let delay_ms = if to.index() < self.net.delays.len() && from.index() < self.net.delays.len()
         {
             self.net.delays.get(from, to).max(0.0)
         } else {
             1.0
         };
-        tokio::spawn(async move {
-            tokio::time::sleep(std::time::Duration::from_secs_f64(delay_ms / 1000.0)).await;
-            let _ = tx.send((from, Bytes::from(data)));
-        });
+        let deliver = |tx: mpsc::UnboundedSender<(NodeId, Bytes)>, data: Vec<u8>, ms: f64| {
+            tokio::spawn(async move {
+                tokio::time::sleep(std::time::Duration::from_secs_f64(ms / 1000.0)).await;
+                let _ = tx.send((from, Bytes::from(data)));
+            });
+        };
+        match verdict {
+            Verdict::Duplicate { extra_us } => {
+                deliver(tx.clone(), data.clone(), delay_ms);
+                deliver(tx, data, delay_ms + extra_us as f64 / 1000.0);
+            }
+            Verdict::Delayed { extra_us } | Verdict::Reordered { extra_us } => {
+                deliver(tx, data, delay_ms + extra_us as f64 / 1000.0);
+            }
+            _ => deliver(tx, data, delay_ms),
+        }
         Ok(())
     }
 
@@ -223,7 +296,8 @@ impl Transport for UdpTransport {
                     if let Some(from) = from {
                         return Some((from, Bytes::copy_from_slice(&self.buf[..len])));
                     }
-                    // Unknown sender: drop and keep listening.
+                    // Unknown sender: drop (counted) and keep listening.
+                    transport_obs().unknown_sender.inc();
                 }
                 Err(_) => return None,
             }
@@ -293,6 +367,74 @@ mod tests {
             // delivering the frame.
             let got = tokio::time::timeout(std::time::Duration::from_secs(5), b.recv()).await;
             assert_eq!(got, Ok(None));
+        });
+    }
+
+    #[test]
+    fn sim_partition_window_cuts_then_heals() {
+        tokio::runtime::block_on_paused(async {
+            let plan = egoist_netsim::FaultPlan::new().partition(
+                5.0,
+                15.0,
+                vec![vec![NodeId(0)], vec![NodeId(1)]],
+            );
+            let net =
+                SimNet::with_plan(two_node_delays(1.0), FaultConfig::default(), Some(plan), 3);
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            // Before the window: delivered.
+            a.send(NodeId(1), Bytes::from_static(b"pre")).await.unwrap();
+            assert_eq!(&b.recv().await.unwrap().1[..], b"pre");
+            // Inside the window: cut.
+            tokio::time::sleep(std::time::Duration::from_secs(8)).await;
+            a.send(NodeId(1), Bytes::from_static(b"mid")).await.unwrap();
+            let got = tokio::time::timeout(std::time::Duration::from_secs(2), b.recv()).await;
+            assert!(got.is_err(), "partitioned frame must be cut");
+            assert_eq!(net.fault_stats().cut, 1);
+            // After the heal: delivered again.
+            tokio::time::sleep(std::time::Duration::from_secs(8)).await;
+            a.send(NodeId(1), Bytes::from_static(b"post"))
+                .await
+                .unwrap();
+            assert_eq!(&b.recv().await.unwrap().1[..], b"post");
+        });
+    }
+
+    #[test]
+    fn sim_duplicate_verdict_delivers_twice() {
+        tokio::runtime::block_on_paused(async {
+            let cfg = FaultConfig {
+                duplicate_chance: 1.0,
+                ..Default::default()
+            };
+            let net = SimNet::new(two_node_delays(1.0), cfg, 4);
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            a.send(NodeId(1), Bytes::from_static(b"dup")).await.unwrap();
+            assert_eq!(&b.recv().await.unwrap().1[..], b"dup");
+            assert_eq!(&b.recv().await.unwrap().1[..], b"dup");
+            assert_eq!(net.fault_stats().duplicated, 1);
+        });
+    }
+
+    #[test]
+    fn sim_jitter_verdict_adds_latency() {
+        tokio::runtime::block_on_paused(async {
+            let cfg = FaultConfig {
+                jitter_chance: 1.0,
+                jitter_ms: 40.0,
+                ..Default::default()
+            };
+            let net = SimNet::new(two_node_delays(10.0), cfg, 5);
+            let a = net.endpoint(NodeId(0));
+            let mut b = net.endpoint(NodeId(1));
+            let t0 = tokio::time::Instant::now();
+            a.send(NodeId(1), Bytes::from_static(b"j")).await.unwrap();
+            let _ = b.recv().await.unwrap();
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            assert!(ms >= 10.0, "jitter only adds latency: {ms} ms");
+            assert!(ms <= 50.5, "jitter capped at jitter_ms: {ms} ms");
+            assert_eq!(net.fault_stats().jittered, 1);
         });
     }
 

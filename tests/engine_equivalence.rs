@@ -112,6 +112,37 @@ fn churned_runs_identical() {
 }
 
 #[test]
+fn fault_plan_churn_runs_identical() {
+    // The adversarial fleet harness schedules faults as a `FaultPlan`;
+    // `churn_trace` projects its membership effects (partition minority
+    // OFF for the window, storm flaps as ON/OFF events) into the pure
+    // simulator's `ChurnTrace`. The engines must stay bit-identical
+    // under that projection too, so the fleet's chaos scenarios and the
+    // figure pipeline share one notion of churn.
+    use egoist::graph::NodeId;
+    use egoist::netsim::FaultPlan;
+    for (n, k, metric, seed) in [
+        (32usize, 4, Metric::DelayPing, 37u64),
+        (64, 5, Metric::Load, 41),
+    ] {
+        let mut c = cfg(n, k, PolicyKind::BestResponse, metric, seed);
+        let horizon = c.epochs as f64 * c.epoch_secs;
+        let minority: Vec<NodeId> = (3 * n / 4..n).map(NodeId::from_index).collect();
+        let flappy: Vec<NodeId> = (0..n / 4).map(NodeId::from_index).collect();
+        let plan = FaultPlan::new()
+            .partition(0.35 * horizon, 0.6 * horizon, vec![vec![], minority])
+            .churn_storm(0.65 * horizon, 0.9 * horizon, flappy, 0.08 * horizon, 0.4);
+        let trace = plan.churn_trace(n, horizon);
+        assert!(
+            !trace.events.is_empty(),
+            "fault plan projected an empty churn trace"
+        );
+        c.churn = Some(trace);
+        assert_equivalent(c);
+    }
+}
+
+#[test]
 fn other_policies_identical() {
     for policy in [
         PolicyKind::EpsilonBestResponse { epsilon: 0.1 },
