@@ -25,7 +25,10 @@ fn lsa(origin: u32, seq: u64, k: usize) -> LinkStateAnnouncement {
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
     for k in [2usize, 8, 32] {
-        let msg = Message::LinkState(lsa(1, 42, k));
+        let msg = Message::LinkState {
+            lsa: lsa(1, 42, k),
+            ttl: 2,
+        };
         let frame = encode(&msg);
         group.throughput(Throughput::Bytes(frame.len() as u64));
         group.bench_with_input(BenchmarkId::new("encode_lsa", k), &k, |b, _| {
@@ -38,6 +41,7 @@ fn bench_codec(c: &mut Criterion) {
     let ping = Message::Ping {
         from: NodeId(3),
         nonce: 0xABCD,
+        hb: false,
     };
     let ping_frame = encode(&ping);
     group.bench_function("encode_ping", |b| b.iter(|| black_box(encode(&ping))));

@@ -1,13 +1,20 @@
 //! `chaos_fleet` — run the adversarial fleet harness and emit/verify
 //! the deterministic robustness report.
 //!
-//! Two scenarios, straight from `egoist_proto::fleet`:
+//! Four scenarios, straight from `egoist_proto::fleet`:
 //!
 //! * `storm_partition` — 30% background loss plus a scheduled churn
 //!   storm and a healed two-way partition; the fleet must reconverge.
 //! * `sybil_eclipse` — a Sybil swarm on one endpoint budget running an
 //!   eclipse lure; peer scoring must keep every attacker identity out
 //!   of the honest active views.
+//! * `chaos_n1000` — 1000 live protocol nodes on the timer wheel with
+//!   fan-out-limited gossip and anti-entropy repair, under a churn
+//!   storm and a healed partition; ≥95% final reachability with
+//!   link-state traffic under 5% of the full-flood extrapolation.
+//! * `third_party_lure` — a swarm forging only third-party links (the
+//!   first-hand audit never fires); second-hand claim ranking must keep
+//!   every forged link out of honest routing graphs and ban the origins.
 //!
 //! Every scenario is executed TWICE and the two reports must be
 //! byte-identical — the determinism gate runs on every invocation, not
@@ -22,7 +29,10 @@
 //!   --schema PATH  schema to validate against (default: schemas/robustness.schema.json)
 //!   --check PATH   validate an existing report file and exit (no run)
 
-use egoist_proto::fleet::{run_fleet, storm_partition_profile, sybil_eclipse_profile, FleetConfig};
+use egoist_proto::fleet::{
+    chaos_n1000_profile, run_fleet, storm_partition_profile, sybil_eclipse_profile,
+    third_party_lure_profile, FleetConfig,
+};
 
 const SCHEMA_TAG: &str = "\"schema\": \"egoist-robustness/v1\"";
 
@@ -186,6 +196,8 @@ fn main() {
     let reports = vec![
         run_deterministic(&storm_partition_profile(quick)),
         run_deterministic(&sybil_eclipse_profile(quick)),
+        run_deterministic(&third_party_lure_profile(quick)),
+        run_deterministic(&chaos_n1000_profile(quick)),
     ];
     let doc = combine(&reports);
     // Never ship a document the checker would reject.

@@ -132,6 +132,19 @@ impl PolicyKind {
         }
     }
 
+    /// Whether the policy's `wire()` ever reads `ctx.residual`. The
+    /// oblivious wirings (§3.2's k-Random / k-Closest / k-Regular) rank
+    /// candidates by direct cost or id alone, so callers can hand them a
+    /// `ResidualView::broadcast` placeholder and skip the APSP — the
+    /// difference between O(k·n) and O(n²·log n) per re-wire at fleet
+    /// scale.
+    pub fn needs_residual(self) -> bool {
+        !matches!(
+            self,
+            PolicyKind::Random | PolicyKind::Closest | PolicyKind::Regular
+        )
+    }
+
     /// Short label used in figure output.
     pub fn label(self) -> String {
         match self {

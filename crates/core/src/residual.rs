@@ -57,6 +57,10 @@ pub struct CowResidual<'a> {
 enum Inner<'a> {
     Dense(&'a DistanceMatrix),
     Cow(CowResidual<'a>),
+    /// Every row is the same borrowed slice — a placeholder for policies
+    /// that never consult residual state (`PolicyKind::needs_residual()`
+    /// is false), letting callers skip the O(n²·log n) APSP entirely.
+    Broadcast(&'a [f64]),
 }
 
 /// A read-only view of pairwise residual state, dense or copy-on-write.
@@ -77,6 +81,14 @@ impl<'a> ResidualView<'a> {
         }
     }
 
+    /// View where every source reads the same borrowed row. Only valid
+    /// as a placeholder for policies that ignore residual state.
+    pub fn broadcast(row: &'a [f64]) -> Self {
+        ResidualView {
+            inner: Inner::Broadcast(row),
+        }
+    }
+
     /// View over the epoch engine's copy-on-write backing.
     pub fn cow(parts: CowResidual<'a>) -> Self {
         debug_assert_eq!(parts.slot.len(), parts.n);
@@ -93,6 +105,7 @@ impl<'a> ResidualView<'a> {
         match self.inner {
             Inner::Dense(m) => m.len(),
             Inner::Cow(p) => p.n,
+            Inner::Broadcast(row) => row.len(),
         }
     }
 
@@ -107,6 +120,7 @@ impl<'a> ResidualView<'a> {
     pub fn row(&self, s: usize) -> &'a [f64] {
         match self.inner {
             Inner::Dense(m) => m.row(s),
+            Inner::Broadcast(row) => row,
             Inner::Cow(p) => {
                 if s == p.node {
                     p.self_row
@@ -167,5 +181,14 @@ mod tests {
         assert_eq!(v.row(1), &[9.0, 9.0, 9.0], "repaired pool row");
         assert_eq!(v.row(2), &self_row[..], "turn node's own row");
         assert_eq!(v.at(1, 2), 9.0);
+    }
+
+    #[test]
+    fn broadcast_view_repeats_one_row() {
+        let row = vec![0.0, 1.0, 2.0];
+        let v = ResidualView::broadcast(&row);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.row(0), v.row(2));
+        assert_eq!(v.at(1, 2), 2.0);
     }
 }

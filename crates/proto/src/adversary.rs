@@ -11,11 +11,21 @@
 //!   the swarm looks like an irresistible transit hub to the §3.1
 //!   wiring objective.
 //!
-//! The defense under test is the per-peer scoring ledger in
-//! [`crate::node`]: the full-fan lure necessarily claims a link *to*
-//! each victim, which the victim audits against its own measurement and
-//! punishes; garbage earns decode strikes. A correctly defending fleet
-//! ends with no attacker identity in any honest active view.
+//! * **Third-party forgery** — the smarter lure: each victim receives a
+//!   per-victim LSA *variant that omits the link to that victim*, so the
+//!   §3.4 first-hand audit (which only checks links-to-me) never fires.
+//!   Every forged link is a third-party claim from the recipient's
+//!   perspective.
+//!
+//! The defenses under test live in [`crate::node`]: the full-fan lure
+//! necessarily claims a link *to* each victim, which the victim audits
+//! against its own measurement and punishes; garbage earns decode
+//! strikes; and the third-party variants are caught by second-hand claim
+//! ranking — a near-zero forged cost between two nodes the recipient
+//! *has* measured violates the triangle inequality, quarantining the
+//! link and tallying the origin toward a ban. A correctly defending
+//! fleet ends with no attacker identity in any honest active view and no
+//! forged link in any honest routing graph.
 
 use crate::codec::{decode, encode};
 use crate::message::{LinkEntry, LinkStateAnnouncement, Message};
@@ -89,6 +99,11 @@ pub struct AdversaryConfig {
     /// The first `garbage_ids` identities send undecodable noise
     /// instead of LSAs (pure Sybil spam).
     pub garbage_ids: usize,
+    /// Third-party forgery: send each victim a per-victim LSA variant
+    /// that *omits* the link to that victim, so the recipient's
+    /// first-hand audit has nothing to check and only second-hand claim
+    /// ranking can catch the forgery.
+    pub third_party: bool,
 }
 
 impl AdversaryConfig {
@@ -103,6 +118,17 @@ impl AdversaryConfig {
             lure_cost: 0.05,
             lure_interval: Duration::from_secs(3),
             garbage_ids: sybils / 4,
+            third_party: false,
+        }
+    }
+
+    /// A swarm that forges only third-party links (no garbage, nothing
+    /// the first-hand audit can see).
+    pub fn third_party_swarm(first: usize, sybils: usize, victims: Vec<NodeId>) -> Self {
+        AdversaryConfig {
+            garbage_ids: 0,
+            third_party: true,
+            ..Self::swarm(first, sybils, victims)
         }
     }
 }
@@ -147,23 +173,28 @@ where
 }
 
 /// Forged announcement: near-zero links to every victim and every
-/// fellow Sybil.
-fn lure_lsa(me: NodeId, seq: u64, cfg: &AdversaryConfig) -> Message {
+/// fellow Sybil. In third-party mode, `exclude` (the recipient) is
+/// dropped from the link set so the first-hand audit never fires.
+fn lure_lsa(me: NodeId, seq: u64, cfg: &AdversaryConfig, exclude: Option<NodeId>) -> Message {
     let links: Vec<LinkEntry> = cfg
         .victims
         .iter()
         .copied()
         .chain(cfg.ids.iter().copied().filter(|&s| s != me))
+        .filter(|&x| Some(x) != exclude)
         .map(|neighbor| LinkEntry {
             neighbor,
             cost: cfg.lure_cost,
         })
         .collect();
-    Message::LinkState(LinkStateAnnouncement {
-        origin: me,
-        seq,
-        links,
-    })
+    Message::LinkState {
+        lsa: LinkStateAnnouncement {
+            origin: me,
+            seq,
+            links,
+        },
+        ttl: 8,
+    }
 }
 
 async fn identity_task<T: Transport>(
@@ -191,9 +222,9 @@ async fn identity_task<T: Transport>(
                 // Stay pingable: a candidate with no measurement never
                 // attracts a link, so the swarm answers probes honestly
                 // (the lie lives in the LSAs, not the RTT).
-                if let Ok(Message::Ping { from: peer, nonce }) = decode(&frame) {
+                if let Ok(Message::Ping { from: peer, nonce, hb }) = decode(&frame) {
                     if budget.try_take() {
-                        let pong = encode(&Message::Pong { from: me, nonce });
+                        let pong = encode(&Message::Pong { from: me, nonce, hb });
                         let _ = transport.send(peer, pong).await;
                         let mut s = stats.lock();
                         s.sent += 1;
@@ -204,8 +235,7 @@ async fn identity_task<T: Transport>(
                 }
             }
             _ = lure.tick() => {
-                seq += 1;
-                for &v in &cfg.victims {
+                for (vi, &v) in cfg.victims.iter().enumerate() {
                     if !budget.try_take() {
                         stats.lock().throttled += 1;
                         continue;
@@ -213,12 +243,23 @@ async fn identity_task<T: Transport>(
                     let frame = if garbage {
                         // Wrong magic: fails the codec checksum path.
                         Bytes::from_static(b"\xBA\xD5\x1B\x17garbage-sybil-frame\x00")
+                    } else if cfg.third_party {
+                        // Per-victim variant on its own seq, so every
+                        // recipient always sees a fresh forgery even if
+                        // variants leak between victims via gossip.
+                        encode(&lure_lsa(
+                            me,
+                            seq * cfg.victims.len() as u64 + vi as u64 + 1,
+                            &cfg,
+                            Some(v),
+                        ))
                     } else {
-                        encode(&lure_lsa(me, seq, &cfg))
+                        encode(&lure_lsa(me, seq + 1, &cfg, None))
                     };
                     let _ = transport.send(v, frame).await;
                     stats.lock().sent += 1;
                 }
+                seq += 1;
             }
         }
     }

@@ -65,6 +65,8 @@ mod tag {
     pub const PONG: u8 = 7;
     pub const HEARTBEAT: u8 = 8;
     pub const LEAVE: u8 = 9;
+    pub const LSDB_DIGEST: u8 = 10;
+    pub const LSDB_PULL: u8 = 11;
 }
 
 fn put_lsa(buf: &mut BytesMut, lsa: &LinkStateAnnouncement) {
@@ -122,21 +124,41 @@ pub fn encode(msg: &Message) -> Bytes {
             }
             tag::LSDB_SYNC
         }
-        Message::LinkState(lsa) => {
+        Message::LsdbDigest { from, entries } => {
+            payload.put_u32(from.0);
+            payload.put_u16(entries.len() as u16);
+            for (origin, seq) in entries {
+                payload.put_u32(origin.0);
+                payload.put_u64(*seq);
+            }
+            tag::LSDB_DIGEST
+        }
+        Message::LsdbPull { from, origins } => {
+            payload.put_u32(from.0);
+            payload.put_u16(origins.len() as u16);
+            for o in origins {
+                payload.put_u32(o.0);
+            }
+            tag::LSDB_PULL
+        }
+        Message::LinkState { lsa, ttl } => {
+            payload.put_u8(*ttl);
             put_lsa(&mut payload, lsa);
             tag::LINK_STATE
         }
-        Message::Ping { from, nonce } => {
+        Message::Ping { from, nonce, hb } => {
             payload.put_u32(from.0);
             payload.put_u64(*nonce);
+            payload.put_u8(*hb as u8);
             // Pad to the paper's 320-bit (40-byte) ICMP echo size.
-            payload.put_bytes(0, 40usize.saturating_sub(12));
+            payload.put_bytes(0, 40usize.saturating_sub(13));
             tag::PING
         }
-        Message::Pong { from, nonce } => {
+        Message::Pong { from, nonce, hb } => {
             payload.put_u32(from.0);
             payload.put_u64(*nonce);
-            payload.put_bytes(0, 40usize.saturating_sub(12));
+            payload.put_u8(*hb as u8);
+            payload.put_bytes(0, 40usize.saturating_sub(13));
             tag::PONG
         }
         Message::Heartbeat { from } => {
@@ -224,18 +246,28 @@ pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
             }
             Message::LsdbSync { lsas }
         }
-        tag::LINK_STATE => Message::LinkState(get_lsa(&mut buf)?),
+        tag::LINK_STATE => {
+            if buf.remaining() < 1 {
+                return Err(DecodeError::Truncated);
+            }
+            let ttl = buf.get_u8();
+            Message::LinkState {
+                lsa: get_lsa(&mut buf)?,
+                ttl,
+            }
+        }
         tag::PING | tag::PONG => {
-            if buf.remaining() < 12 {
+            if buf.remaining() < 13 {
                 return Err(DecodeError::Truncated);
             }
             let from = NodeId(buf.get_u32());
             let nonce = buf.get_u64();
+            let hb = buf.get_u8() != 0;
             buf.advance(buf.remaining()); // padding
             if ty == tag::PING {
-                Message::Ping { from, nonce }
+                Message::Ping { from, nonce, hb }
             } else {
-                Message::Pong { from, nonce }
+                Message::Pong { from, nonce, hb }
             }
         }
         tag::HEARTBEAT => {
@@ -253,6 +285,32 @@ pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
             Message::Leave {
                 from: NodeId(buf.get_u32()),
             }
+        }
+        tag::LSDB_DIGEST => {
+            if buf.remaining() < 6 {
+                return Err(DecodeError::Truncated);
+            }
+            let from = NodeId(buf.get_u32());
+            let n = buf.get_u16() as usize;
+            if buf.remaining() < n * 12 {
+                return Err(DecodeError::Truncated);
+            }
+            let entries = (0..n)
+                .map(|_| (NodeId(buf.get_u32()), buf.get_u64()))
+                .collect();
+            Message::LsdbDigest { from, entries }
+        }
+        tag::LSDB_PULL => {
+            if buf.remaining() < 6 {
+                return Err(DecodeError::Truncated);
+            }
+            let from = NodeId(buf.get_u32());
+            let n = buf.get_u16() as usize;
+            if buf.remaining() < n * 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let origins = (0..n).map(|_| NodeId(buf.get_u32())).collect();
+            Message::LsdbPull { from, origins }
         }
         other => return Err(DecodeError::BadType(other)),
     };
@@ -290,18 +348,31 @@ mod tests {
                     ],
                 }],
             },
-            Message::LinkState(LinkStateAnnouncement {
-                origin: NodeId(9),
-                seq: 1,
-                links: vec![],
-            }),
+            Message::LsdbDigest {
+                from: NodeId(2),
+                entries: vec![(NodeId(4), 42), (NodeId(9), 7)],
+            },
+            Message::LsdbPull {
+                from: NodeId(5),
+                origins: vec![NodeId(4), NodeId(8)],
+            },
+            Message::LinkState {
+                lsa: LinkStateAnnouncement {
+                    origin: NodeId(9),
+                    seq: 1,
+                    links: vec![],
+                },
+                ttl: 3,
+            },
             Message::Ping {
                 from: NodeId(3),
                 nonce: 0xDEADBEEF,
+                hb: false,
             },
             Message::Pong {
                 from: NodeId(4),
                 nonce: 0xDEADBEEF,
+                hb: true,
             },
             Message::Heartbeat { from: NodeId(2) },
             Message::Leave { from: NodeId(1) },
@@ -323,8 +394,16 @@ mod tests {
         let f = encode(&Message::Ping {
             from: NodeId(0),
             nonce: 0,
+            hb: false,
         });
         assert_eq!(f.len(), 40 + 12);
+        // The heartbeat flag rides in the padding; same wire size.
+        let hb = encode(&Message::Ping {
+            from: NodeId(0),
+            nonce: 0,
+            hb: true,
+        });
+        assert_eq!(hb.len(), 40 + 12);
     }
 
     #[test]
@@ -358,14 +437,17 @@ mod tests {
     fn every_single_bitflip_is_rejected_or_harmless() {
         // Fault injection flips one bit anywhere; decode must never panic
         // and must almost always reject (the checksum catches it).
-        let f = encode(&Message::LinkState(LinkStateAnnouncement {
-            origin: NodeId(1),
-            seq: 77,
-            links: vec![LinkEntry {
-                neighbor: NodeId(2),
-                cost: 3.5,
-            }],
-        }));
+        let f = encode(&Message::LinkState {
+            lsa: LinkStateAnnouncement {
+                origin: NodeId(1),
+                seq: 77,
+                links: vec![LinkEntry {
+                    neighbor: NodeId(2),
+                    cost: 3.5,
+                }],
+            },
+            ttl: 2,
+        });
         for byte in 0..f.len() {
             for bit in 0..8 {
                 let mut v = f.to_vec();
@@ -386,7 +468,7 @@ mod tests {
 
         /// Roundtrip for arbitrary LSAs.
         #[test]
-        fn lsa_roundtrip(origin in 0u32..1000, seq in 0u64..u64::MAX,
+        fn lsa_roundtrip(origin in 0u32..1000, seq in 0u64..u64::MAX, ttl in 0u8..8,
                          links in proptest::collection::vec((0u32..1000, 0.0f32..1e6), 0..64)) {
             let lsa = LinkStateAnnouncement {
                 origin: NodeId(origin),
@@ -396,8 +478,24 @@ mod tests {
                     .map(|(n, c)| LinkEntry { neighbor: NodeId(n), cost: c })
                     .collect(),
             };
-            let m = Message::LinkState(lsa);
+            let m = Message::LinkState { lsa, ttl };
             prop_assert_eq!(decode(&encode(&m)).unwrap(), m);
+        }
+
+        /// Roundtrip for arbitrary anti-entropy digests and pulls.
+        #[test]
+        fn digest_roundtrip(from in 0u32..1000,
+                            entries in proptest::collection::vec((0u32..1000, 0u64..u64::MAX), 0..128)) {
+            let m = Message::LsdbDigest {
+                from: NodeId(from),
+                entries: entries.iter().map(|&(o, s)| (NodeId(o), s)).collect(),
+            };
+            prop_assert_eq!(decode(&encode(&m)).unwrap(), m);
+            let p = Message::LsdbPull {
+                from: NodeId(from),
+                origins: entries.iter().map(|&(o, _)| NodeId(o)).collect(),
+            };
+            prop_assert_eq!(decode(&encode(&p)).unwrap(), p);
         }
     }
 }

@@ -9,18 +9,35 @@
 //! state (node views, `SimNet` counters), never from the global obs
 //! registry, and every iteration that could leak map order is sorted.
 //!
+//! **Scheduling.** Nodes are not spawned as one task each. The harness
+//! owns every [`EgoistNode`] and drives the node tick methods from a
+//! single timer wheel over virtual time: a heap of `(due, node, kind)`
+//! events advanced in fixed [`FleetConfig::wheel_step`] quanta. At each
+//! step every node's inbound queue is drained in id order, then due
+//! events fire in `(due, node, kind)` order. One task per *fleet*
+//! instead of six per node is what makes n ≥ 1000 live protocol nodes
+//! affordable — and the wheel's total order over ticks is itself the
+//! determinism argument: two same-seed runs execute the identical
+//! sequence of (drain, tick) steps at the identical virtual instants.
+//!
 //! This is the §4.4 churn/resilience experiment generalized: instead of
 //! replaying a PlanetLab churn trace, the plan scripts partitions,
 //! storms, loss/jitter bursts and Sybil/eclipse swarms, and the report
 //! records how routing reachability degrades and reconverges.
 
 use crate::adversary::{spawn_swarm, AdversaryConfig, AdversaryStats};
+use crate::audit::ClaimRanker;
 use crate::bootstrap::{BootstrapServer, Registry};
 use crate::message::MessageClass;
 use crate::node::{EgoistNode, NodeConfig, NodeView};
-use crate::transport::{FaultStats, SimNet};
+use crate::transport::{FaultStats, SimNet, SimTransport};
+use egoist_core::policies::PolicyKind;
 use egoist_graph::{DistanceMatrix, NodeId};
 use egoist_netsim::{FaultConfig, FaultPlan};
+use parking_lot::RwLock;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One fleet scenario.
@@ -44,10 +61,36 @@ pub struct FleetConfig {
     pub plan: FaultPlan,
     /// Swarm script; `None` = no adversary.
     pub adversary: Option<AdversaryConfig>,
+    /// Wiring policy every honest node runs.
+    pub policy: PolicyKind,
     pub epoch: Duration,
     pub announce_interval: Duration,
     pub ping_interval: Duration,
     pub liveness_timeout: Duration,
+    /// Timer-wheel quantum: inbound queues drain and due ticks fire on
+    /// these boundaries. Smaller = finer RTT resolution, more steps.
+    pub wheel_step: Duration,
+    /// Virtual spacing between consecutive node spawns.
+    pub spawn_spacing: Duration,
+    /// Gossip fan-out per fresh LSA (`usize::MAX` = classic full flood).
+    pub gossip_fanout: usize,
+    /// Gossip TTL on originated LSAs.
+    pub gossip_ttl: u8,
+    /// Anti-entropy digest period.
+    pub sync_interval: Duration,
+    /// Unwired-candidate measurement pings per ping tick.
+    pub ping_sample: usize,
+    /// Announce suppression: seq-bump at most every this many announce
+    /// ticks unless the wiring changed materially.
+    pub announce_refresh: u32,
+    /// LSDB record max age override (must exceed the effective announce
+    /// refresh period or healthy origins expire between refreshes).
+    pub lsdb_max_age: Option<Duration>,
+    /// Second-hand claim ranking thresholds.
+    pub claims: ClaimRanker,
+    /// Publish routing-graph edge lists in node views (forged-link
+    /// acceptance metric; O(edges) per publish, off unless needed).
+    pub expose_route_edges: bool,
     /// Reachability fraction that counts as "reconverged" after a
     /// fault window heals.
     pub recovered_threshold: f64,
@@ -67,16 +110,50 @@ impl FleetConfig {
             fault: FaultConfig::default(),
             plan: FaultPlan::new(),
             adversary: None,
+            policy: PolicyKind::BestResponse,
             epoch: Duration::from_secs(10),
             announce_interval: Duration::from_secs(3),
             ping_interval: Duration::from_secs(5),
             liveness_timeout: Duration::from_secs(12),
+            wheel_step: Duration::from_millis(1),
+            spawn_spacing: Duration::from_millis(100),
+            gossip_fanout: usize::MAX,
+            gossip_ttl: 8,
+            sync_interval: Duration::from_secs(15),
+            ping_sample: usize::MAX,
+            announce_refresh: 1,
+            lsdb_max_age: None,
+            claims: ClaimRanker::default(),
+            expose_route_edges: false,
             recovered_threshold: 0.95,
         }
     }
 
     fn total_ids(&self) -> usize {
         self.n + self.sybils
+    }
+
+    fn node_config(&self, i: usize, boot: NodeId) -> NodeConfig {
+        let mut nc = NodeConfig::new(NodeId::from_index(i), self.total_ids(), self.k);
+        nc.policy = self.policy;
+        nc.epoch = self.epoch;
+        nc.announce_interval = self.announce_interval;
+        nc.ping_interval = self.ping_interval;
+        nc.liveness_timeout = self.liveness_timeout;
+        nc.bootstrap = Some(boot);
+        nc.seed = self.seed.wrapping_mul(1031).wrapping_add(i as u64);
+        // Bit-reproducible runs: keep the wiring computation on the
+        // executor thread (blocking-pool wakeups are a real-time race).
+        nc.inline_rewire = true;
+        nc.gossip_fanout = self.gossip_fanout;
+        nc.gossip_ttl = self.gossip_ttl;
+        nc.sync_interval = self.sync_interval;
+        nc.ping_sample = self.ping_sample;
+        nc.announce_refresh = self.announce_refresh;
+        nc.lsdb_max_age = self.lsdb_max_age;
+        nc.claims = self.claims;
+        nc.expose_route_edges = self.expose_route_edges;
+        nc
     }
 }
 
@@ -121,6 +198,89 @@ pub fn sybil_eclipse_profile(quick: bool) -> FleetConfig {
     cfg
 }
 
+/// The scale scenario: ≥1000 live protocol nodes under a churn storm
+/// and a healed partition. Gossip is fan-out limited (the full-flood
+/// extrapolation would be ~n² frames per announce wave) and coverage
+/// beyond the TTL horizon is anti-entropy's job; the fleet must end at
+/// ≥95% route reachability anyway.
+pub fn chaos_n1000_profile(quick: bool) -> FleetConfig {
+    let (horizon, spacing_ms) = if quick { (260, 20) } else { (400, 50) };
+    let n = 1000;
+    let mut cfg = FleetConfig::new("chaos_n1000", n, 4, 1000);
+    cfg.horizon = Duration::from_secs(horizon);
+    cfg.sample_every = Duration::from_secs(20);
+    cfg.fault = FaultConfig {
+        drop_chance: 0.1,
+        ..FaultConfig::default()
+    };
+    // k-Random keeps the union routing graph strongly connected with
+    // high probability at k=4 (a k-out digraph), without the per-epoch
+    // APSP a best-response fleet of this size would need.
+    cfg.policy = PolicyKind::Random;
+    cfg.epoch = Duration::from_secs(30);
+    cfg.announce_interval = Duration::from_secs(10);
+    cfg.ping_interval = Duration::from_secs(10);
+    cfg.liveness_timeout = Duration::from_secs(25);
+    cfg.wheel_step = Duration::from_millis(10);
+    cfg.spawn_spacing = Duration::from_millis(spacing_ms);
+    cfg.gossip_fanout = 3;
+    cfg.gossip_ttl = 2;
+    cfg.sync_interval = Duration::from_secs(15);
+    cfg.ping_sample = 8;
+    cfg.announce_refresh = 3;
+    // Refresh period is announce_refresh × announce_interval = 30 s;
+    // records must survive a 30 s partition plus one missed refresh.
+    cfg.lsdb_max_age = Some(Duration::from_secs(105));
+    // The 10 ms wheel quantum inflates RTT estimates by up to ~2 steps
+    // (~20 ms of noise per estimate); the triangle check cannot separate
+    // that from forgery here, so give it a margin that keeps it silent
+    // (the lure scenario runs at a 1 ms quantum and a tight margin).
+    cfg.claims = ClaimRanker {
+        margin: 30.0,
+        ..ClaimRanker::default()
+    };
+    let h = horizon as f64;
+    let storm: Vec<NodeId> = (0..n / 4).map(NodeId::from_index).collect();
+    let minority: Vec<NodeId> = (n - n / 8..n).map(NodeId::from_index).collect();
+    cfg.plan = FaultPlan::new()
+        .churn_storm(0.25 * h, 0.48 * h, storm, 30.0, 0.3)
+        .partition(0.54 * h, 0.66 * h, vec![vec![], minority]);
+    cfg
+}
+
+/// The defense scenario for the §3.4 hole: a swarm that forges only
+/// *third-party* links (per-victim LSA variants omitting the link to
+/// the recipient), so the first-hand cost audit never fires and only
+/// second-hand claim ranking can catch it. Acceptance: zero forged
+/// links in any honest routing graph at the end, and every lure origin
+/// banned by ≥90% of honest nodes.
+pub fn third_party_lure_profile(quick: bool) -> FleetConfig {
+    let (n, sybils, horizon) = if quick { (10, 3, 240) } else { (14, 4, 300) };
+    let mut cfg = FleetConfig::new("third_party_lure", n, 3, 3333);
+    cfg.sybils = sybils;
+    cfg.horizon = Duration::from_secs(horizon);
+    cfg.fault = FaultConfig {
+        drop_chance: 0.05,
+        ..FaultConfig::default()
+    };
+    cfg.adversary = Some(AdversaryConfig::third_party_swarm(
+        n,
+        sybils,
+        (0..n).map(NodeId::from_index).collect(),
+    ));
+    // The fleet substrate is an exact metric (planar embedding + base),
+    // so the asymmetry allowance can be zero: any forged near-zero
+    // third-party cost between two measured nodes is a clean triangle
+    // violation. The margin only absorbs wheel quantization (~2 ms).
+    cfg.claims = ClaimRanker {
+        slack: 0.5,
+        margin: 2.5,
+        tiv: 0.0,
+    };
+    cfg.expose_route_edges = true;
+    cfg
+}
+
 /// Recovery record for one scheduled fault window.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WindowRecovery {
@@ -131,6 +291,31 @@ pub struct WindowRecovery {
     pub reconverged_at: Option<f64>,
     /// `reconverged_at - to`.
     pub recovery_secs: Option<f64>,
+}
+
+/// Misbehavior-score histogram with data-driven bucket edges.
+///
+/// The fixed `0,1,2,3,≥4` buckets went degenerate the moment scores
+/// were read after decay (everything collapsed into bucket 0), so the
+/// histogram now runs over *lifetime* points and rescales its edges to
+/// the observed range: bucket 0 is exactly zero, and the remaining four
+/// buckets split `1..=max` into equal-width ranges whose lower bounds
+/// are returned alongside the counts. With `max ≤ 4` the edges are the
+/// classic `[1, 2, 3, 4]`.
+pub fn score_histogram(scores: &[u64]) -> ([u64; 5], [u64; 4]) {
+    let max = scores.iter().copied().max().unwrap_or(0);
+    let width = max.div_ceil(4).max(1);
+    let edges = [1, 1 + width, 1 + 2 * width, 1 + 3 * width];
+    let mut hist = [0u64; 5];
+    for &s in scores {
+        let bucket = if s == 0 {
+            0
+        } else {
+            1 + (((s - 1) / width).min(3) as usize)
+        };
+        hist[bucket] += 1;
+    }
+    (hist, edges)
 }
 
 /// Everything a chaos run measures. Same seed + config ⇒ identical
@@ -156,9 +341,11 @@ pub struct RobustnessReport {
     pub demotions: u64,
     pub evictions: u64,
     pub promotions: u64,
-    /// Misbehavior-score histogram over every honest ledger entry at
-    /// the end: buckets `0, 1, 2, 3, ≥4`.
+    /// Lifetime misbehavior-point histogram over every honest ledger
+    /// entry at the end (buckets per [`score_histogram`]).
     pub score_hist: [u64; 5],
+    /// Lower bounds of `score_hist` buckets 1..=4.
+    pub score_hist_edges: [u64; 4],
     /// Sybil identities present in honest active views at the end
     /// (the eclipse defense requires 0).
     pub attacker_in_active_views: u64,
@@ -168,6 +355,34 @@ pub struct RobustnessReport {
     /// Per message class: total honest frames/bytes sent.
     pub overhead: Vec<(String, u64, u64)>,
     pub decode_errors: u64,
+    /// Gossip accounting: seq-bumped LSAs originated plus fresh-LSA
+    /// forwards, with the scenario's fan-out/TTL settings echoed.
+    pub announces: u64,
+    pub gossip_forwards: u64,
+    /// `None` = unbounded (classic full flooding).
+    pub gossip_fanout: Option<u64>,
+    pub gossip_ttl: u8,
+    /// Total `link_state`-class frames sent by honest nodes.
+    pub link_state_frames: u64,
+    /// Full-flood extrapolation: every announce reaching every other
+    /// node directly, `announces × (n − 1)`.
+    pub full_flood_frames: u64,
+    /// `link_state_frames / full_flood_frames` (`None` if no announces).
+    pub flood_ratio: Option<f64>,
+    /// Anti-entropy accounting: digests sent, pulls sent, LSAs pushed.
+    pub ae_digests: u64,
+    pub ae_pulls: u64,
+    pub ae_pushed: u64,
+    /// Second-hand claim ranking: tallies plus route-quarantine counts.
+    pub claims_corroborated: u64,
+    pub claims_contradicted: u64,
+    pub links_quarantined: u64,
+    /// Min over sybil identities of the fraction of honest nodes that
+    /// banned it (`None` when the scenario has no sybils).
+    pub lure_ban_frac: Option<f64>,
+    /// Sybil-originated edges inside honest routing graphs at the end
+    /// (only populated when `expose_route_edges`; the defense needs 0).
+    pub forged_links_in_routes: u64,
 }
 
 impl RobustnessReport {
@@ -235,7 +450,7 @@ impl RobustnessReport {
             self.fault.jittered
         ));
         s.push_str(&format!(
-            "  \"peers\": {{\"join_retries\": {}, \"demotions\": {}, \"evictions\": {}, \"promotions\": {}, \"score_hist\": [{}, {}, {}, {}, {}]}},\n",
+            "  \"peers\": {{\"join_retries\": {}, \"demotions\": {}, \"evictions\": {}, \"promotions\": {}, \"score_hist\": [{}, {}, {}, {}, {}], \"score_hist_edges\": [{}, {}, {}, {}]}},\n",
             self.join_retries,
             self.demotions,
             self.evictions,
@@ -244,7 +459,37 @@ impl RobustnessReport {
             self.score_hist[1],
             self.score_hist[2],
             self.score_hist[3],
-            self.score_hist[4]
+            self.score_hist[4],
+            self.score_hist_edges[0],
+            self.score_hist_edges[1],
+            self.score_hist_edges[2],
+            self.score_hist_edges[3]
+        ));
+        let fanout = self
+            .gossip_fanout
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        s.push_str(&format!(
+            "  \"gossip\": {{\"fanout\": {}, \"ttl\": {}, \"announces\": {}, \"forwards\": {}, \"link_state_frames\": {}, \"full_flood_frames\": {}, \"flood_ratio\": {}}},\n",
+            fanout,
+            self.gossip_ttl,
+            self.announces,
+            self.gossip_forwards,
+            self.link_state_frames,
+            self.full_flood_frames,
+            opt(self.flood_ratio)
+        ));
+        s.push_str(&format!(
+            "  \"anti_entropy\": {{\"digests\": {}, \"pulls\": {}, \"pushed\": {}}},\n",
+            self.ae_digests, self.ae_pulls, self.ae_pushed
+        ));
+        s.push_str(&format!(
+            "  \"quarantine\": {{\"claims_corroborated\": {}, \"claims_contradicted\": {}, \"links_quarantined\": {}, \"lure_ban_frac\": {}, \"forged_links_in_routes\": {}}},\n",
+            self.claims_corroborated,
+            self.claims_contradicted,
+            self.links_quarantined,
+            opt(self.lure_ban_frac),
+            self.forged_links_in_routes
         ));
         match &self.adversary {
             Some(a) => s.push_str(&format!(
@@ -288,18 +533,36 @@ fn fleet_obs() -> &'static FleetObs {
     })
 }
 
-/// Deterministic per-pair delay in `[4, 16)` ms, varied by seed.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic *metric* per-pair delay: nodes get seeded positions in
+/// a plane and `d(i,j) = 4 + |pᵢ − pⱼ|` ms, landing in `[4, ~32]`. The
+/// planar embedding matters: second-hand claim ranking compares link
+/// claims against the triangle inequality, so the substrate must
+/// satisfy it exactly or honest claims read as forgeries.
 fn delay_matrix(total: usize, seed: u64) -> DistanceMatrix {
+    let coord = |i: usize, axis: u64| {
+        let z = mix64(
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ axis.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        // 53-bit mantissa fraction in [0, 1), scaled so the square's
+        // diagonal is ~28 ms. The spread matters for claim ranking:
+        // triangle-bound gaps must clear the ranker's margin from
+        // *every* vantage point, including nodes near the centroid.
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 20.0
+    };
+    let pos: Vec<(f64, f64)> = (0..total).map(|i| (coord(i, 1), coord(i, 2))).collect();
     DistanceMatrix::from_fn(total, |i, j| {
         if i == j {
             0.0
         } else {
-            let mix = (i as u64)
-                .wrapping_mul(31)
-                .wrapping_add((j as u64).wrapping_mul(17))
-                .wrapping_add(seed)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            4.0 + (mix >> 32) as f64 % 12.0
+            let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+            4.0 + (dx * dx + dy * dy).sqrt()
         }
     })
 }
@@ -321,7 +584,7 @@ fn reachability(views: &[NodeView], plan: &FaultPlan, now: f64, n: usize) -> f64
                 continue;
             }
             pairs += 1;
-            if v.next_hops[j].is_some() {
+            if v.next_hops.get(j).is_some_and(Option::is_some) {
                 reachable += 1;
             }
         }
@@ -335,6 +598,17 @@ fn reachability(views: &[NodeView], plan: &FaultPlan, now: f64, n: usize) -> f64
     }
 }
 
+// Timer-wheel event kinds, in firing order for same-instant ties (the
+// same biased order the per-node `run()` select uses).
+const K_SPAWN: u8 = 0;
+const K_PING: u8 = 1;
+const K_ANNOUNCE: u8 = 2;
+const K_SYNC: u8 = 3;
+const K_JOIN: u8 = 4;
+const K_EPOCH: u8 = 5;
+
+type WheelEvent = Reverse<(u64, u32, u8)>;
+
 /// Run one scenario to completion inside the paused-clock runtime and
 /// return its report.
 pub fn run_fleet(cfg: &FleetConfig) -> RobustnessReport {
@@ -347,45 +621,129 @@ async fn run_fleet_inner(cfg: FleetConfig) -> RobustnessReport {
     let delays = delay_matrix(total + 1, cfg.seed);
     let net = SimNet::with_plan(delays, cfg.fault, Some(cfg.plan.clone()), cfg.seed);
     tokio::spawn(BootstrapServer::new(net.endpoint(boot), Registry::default()).run());
-
-    let mut handles = Vec::with_capacity(cfg.n);
-    for i in 0..cfg.n {
-        let mut nc = NodeConfig::new(NodeId::from_index(i), total, cfg.k);
-        nc.epoch = cfg.epoch;
-        nc.announce_interval = cfg.announce_interval;
-        nc.ping_interval = cfg.ping_interval;
-        nc.liveness_timeout = cfg.liveness_timeout;
-        nc.bootstrap = Some(boot);
-        nc.seed = cfg.seed.wrapping_mul(1031).wrapping_add(i as u64);
-        // Bit-reproducible runs: keep the wiring computation on the
-        // executor thread (blocking-pool wakeups are a real-time race).
-        nc.inline_rewire = true;
-        handles.push(EgoistNode::new(nc, net.endpoint(NodeId::from_index(i))).spawn());
-        tokio::time::sleep(Duration::from_millis(100)).await;
-    }
     let adversary_stats = cfg
         .adversary
         .as_ref()
         .map(|a| spawn_swarm(a, |id| net.endpoint(id)));
 
-    // Sample reachability over the horizon.
-    let sample = cfg.sample_every.as_secs_f64();
-    let samples = (cfg.horizon.as_secs_f64() / sample).floor() as usize;
+    let step_us = cfg.wheel_step.as_micros().max(1) as u64;
+    let horizon_us = cfg.horizon.as_micros() as u64;
+    let sample_us = cfg.sample_every.as_micros() as u64;
+    let samples = (cfg.horizon.as_secs_f64() / cfg.sample_every.as_secs_f64()).floor() as usize;
+
+    let mut nodes: Vec<Option<EgoistNode<SimTransport>>> = (0..cfg.n).map(|_| None).collect();
+    let mut view_handles: Vec<Option<Arc<RwLock<NodeView>>>> = vec![None; cfg.n];
+    let mut wheel: BinaryHeap<WheelEvent> = BinaryHeap::new();
+    for i in 0..cfg.n {
+        wheel.push(Reverse((
+            i as u64 * cfg.spawn_spacing.as_micros() as u64,
+            i as u32,
+            K_SPAWN,
+        )));
+    }
+
+    let snapshot = |handles: &[Option<Arc<RwLock<NodeView>>>]| -> Vec<NodeView> {
+        handles
+            .iter()
+            .map(|h| h.as_ref().map(|v| v.read().clone()).unwrap_or_default())
+            .collect()
+    };
+
     let mut timeline = Vec::with_capacity(samples);
-    for s in 1..=samples {
-        tokio::time::sleep(cfg.sample_every).await;
-        let now = s as f64 * sample;
-        let views: Vec<NodeView> = handles.iter().map(|h| h.snapshot()).collect();
-        let r = reachability(&views, &cfg.plan, now, cfg.n);
-        fleet_obs().reachability.observe(r);
-        timeline.push((now, r));
+    let mut next_sample_us = sample_us;
+    let mut now_us = 0u64;
+    while now_us < horizon_us {
+        tokio::time::sleep(cfg.wheel_step).await;
+        now_us += step_us;
+        // Inbound first, in id order: frames delivered during the step
+        // are processed before any timer that fires on its boundary.
+        for node in nodes.iter_mut().flatten() {
+            node.drain().await;
+        }
+        while let Some(&Reverse((due, ni, kind))) = wheel.peek() {
+            if due > now_us {
+                break;
+            }
+            wheel.pop();
+            let i = ni as usize;
+            if kind == K_SPAWN {
+                let nc = cfg.node_config(i, boot);
+                let join0 = (nc.join_backoff_base.as_micros() as u64).max(1);
+                let endpoint = net.endpoint(nc.id);
+                let mut node = EgoistNode::new(nc, endpoint);
+                node.start().await;
+                view_handles[i] = Some(node.view_handle());
+                nodes[i] = Some(node);
+                // Per-node phases mirror the live `run()` loop: pings
+                // almost immediately, announces early, sync and epoch
+                // staggered by id so the fleet never ticks in lockstep.
+                let frac = i as f64 / cfg.n.max(1) as f64;
+                let ann0 = ((cfg.announce_interval.as_micros() as u64) / 10).max(1);
+                let sync0 =
+                    (cfg.sync_interval.mul_f64(0.25 + 0.75 * frac).as_micros() as u64).max(1);
+                let epoch0 = (cfg.epoch.mul_f64(frac).as_micros() as u64).max(step_us);
+                wheel.push(Reverse((due + 10_000, ni, K_PING)));
+                wheel.push(Reverse((due + ann0, ni, K_ANNOUNCE)));
+                wheel.push(Reverse((due + sync0, ni, K_SYNC)));
+                wheel.push(Reverse((due + join0, ni, K_JOIN)));
+                wheel.push(Reverse((due + epoch0, ni, K_EPOCH)));
+                continue;
+            }
+            let node = nodes[i].as_mut().expect("tick before spawn");
+            match kind {
+                K_PING => {
+                    node.tick_ping().await;
+                    wheel.push(Reverse((
+                        due + cfg.ping_interval.as_micros() as u64,
+                        ni,
+                        K_PING,
+                    )));
+                }
+                K_ANNOUNCE => {
+                    node.tick_announce().await;
+                    wheel.push(Reverse((
+                        due + cfg.announce_interval.as_micros() as u64,
+                        ni,
+                        K_ANNOUNCE,
+                    )));
+                }
+                K_SYNC => {
+                    node.tick_sync().await;
+                    wheel.push(Reverse((
+                        due + cfg.sync_interval.as_micros() as u64,
+                        ni,
+                        K_SYNC,
+                    )));
+                }
+                K_JOIN => {
+                    let delay = node.tick_join().await;
+                    wheel.push(Reverse((
+                        due + (delay.as_micros() as u64).max(step_us),
+                        ni,
+                        K_JOIN,
+                    )));
+                }
+                _ => {
+                    node.tick_epoch().await;
+                    wheel.push(Reverse((due + cfg.epoch.as_micros() as u64, ni, K_EPOCH)));
+                }
+            }
+        }
+        if timeline.len() < samples && now_us >= next_sample_us {
+            let nominal = (timeline.len() + 1) as f64 * cfg.sample_every.as_secs_f64();
+            let views = snapshot(&view_handles);
+            let r = reachability(&views, &cfg.plan, nominal, cfg.n);
+            fleet_obs().reachability.observe(r);
+            timeline.push((nominal, r));
+            next_sample_us += sample_us;
+        }
     }
 
     // Final state, before any Leave floods from shutdown.
-    let views: Vec<NodeView> = handles.iter().map(|h| h.snapshot()).collect();
+    let views = snapshot(&view_handles);
     let fault = net.fault_stats();
-    for h in handles {
-        h.stop().await;
+    for node in nodes.iter_mut().flatten() {
+        node.shutdown_now().await;
     }
     // Swarm tasks die with the runtime; their stats cell outlives them.
 
@@ -414,23 +772,52 @@ async fn run_fleet_inner(cfg: FleetConfig) -> RobustnessReport {
         .collect();
 
     let sybil_ids: Vec<NodeId> = (cfg.n..total).map(NodeId::from_index).collect();
-    let mut score_hist = [0u64; 5];
     let mut attacker_in_active = 0u64;
     let mut ban_pairs = 0u64;
     let (mut join_retries, mut demotions, mut evictions, mut promotions) = (0u64, 0, 0, 0);
     let mut decode_errors = 0u64;
+    let (mut announces, mut gossip_forwards) = (0u64, 0u64);
+    let (mut ae_digests, mut ae_pulls, mut ae_pushed) = (0u64, 0u64, 0u64);
+    let (mut claims_corroborated, mut claims_contradicted) = (0u64, 0u64);
+    let mut links_quarantined = 0u64;
+    let mut forged_links_in_routes = 0u64;
+    let mut lifetime_points: Vec<u64> = Vec::with_capacity(cfg.n * total);
     for v in &views {
         join_retries += v.join_retries;
         demotions += v.demotions;
         evictions += v.evictions;
         promotions += v.promotions;
         decode_errors += v.decode_errors;
-        for &m in &v.misbehavior {
-            score_hist[(m as usize).min(4)] += 1;
-        }
+        announces += v.announces;
+        gossip_forwards += v.gossip_forwards;
+        ae_digests += v.ae_digests;
+        ae_pulls += v.ae_pulls;
+        ae_pushed += v.ae_pushed;
+        claims_corroborated += v.claims_corroborated;
+        claims_contradicted += v.claims_contradicted;
+        links_quarantined += v.links_quarantined;
+        lifetime_points.extend_from_slice(&v.misbehavior_total);
         attacker_in_active += v.wiring.iter().filter(|w| sybil_ids.contains(w)).count() as u64;
         ban_pairs += v.banned.iter().filter(|b| sybil_ids.contains(b)).count() as u64;
+        forged_links_in_routes += v
+            .route_edges
+            .iter()
+            .filter(|(from, _)| sybil_ids.contains(from))
+            .count() as u64;
     }
+    let (score_hist, score_hist_edges) = score_histogram(&lifetime_points);
+    let lure_ban_frac = if sybil_ids.is_empty() {
+        None
+    } else {
+        Some(
+            sybil_ids
+                .iter()
+                .map(|s| {
+                    views.iter().filter(|v| v.banned.contains(s)).count() as f64 / cfg.n as f64
+                })
+                .fold(f64::INFINITY, f64::min),
+        )
+    };
     let overhead: Vec<(String, u64, u64)> = MessageClass::ALL
         .iter()
         .map(|&c| {
@@ -439,6 +826,16 @@ async fn run_fleet_inner(cfg: FleetConfig) -> RobustnessReport {
             (c.label().to_string(), frames, bytes)
         })
         .collect();
+    let link_state_frames: u64 = views
+        .iter()
+        .map(|v| v.overhead.frames(MessageClass::LinkState))
+        .sum();
+    let full_flood_frames = announces * (cfg.n.saturating_sub(1)) as u64;
+    let flood_ratio = if full_flood_frames == 0 {
+        None
+    } else {
+        Some(link_state_frames as f64 / full_flood_frames as f64)
+    };
 
     let final_reachability = timeline.last().map(|&(_, r)| r).unwrap_or(1.0);
     let min_reachability = timeline
@@ -464,11 +861,31 @@ async fn run_fleet_inner(cfg: FleetConfig) -> RobustnessReport {
         evictions,
         promotions,
         score_hist,
+        score_hist_edges,
         attacker_in_active_views: attacker_in_active,
         attacker_ban_pairs: ban_pairs,
         adversary: adversary_stats.map(|s| *s.lock()),
         overhead,
         decode_errors,
+        announces,
+        gossip_forwards,
+        gossip_fanout: if cfg.gossip_fanout == usize::MAX {
+            None
+        } else {
+            Some(cfg.gossip_fanout as u64)
+        },
+        gossip_ttl: cfg.gossip_ttl,
+        link_state_frames,
+        full_flood_frames,
+        flood_ratio,
+        ae_digests,
+        ae_pulls,
+        ae_pushed,
+        claims_corroborated,
+        claims_contradicted,
+        links_quarantined,
+        lure_ban_frac,
+        forged_links_in_routes,
     }
 }
 
@@ -491,6 +908,9 @@ mod tests {
         assert_eq!(report.attacker_in_active_views, 0);
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"egoist-robustness/v1\""));
+        assert!(json.contains("\"gossip\": {"));
+        assert!(json.contains("\"anti_entropy\": {"));
+        assert!(json.contains("\"quarantine\": {"));
         assert!(json.ends_with("}\n"));
     }
 
@@ -507,5 +927,50 @@ mod tests {
         let a = run_fleet(&cfg);
         let b = run_fleet(&cfg);
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn fleet_delay_matrix_is_a_metric() {
+        let d = delay_matrix(40, 1234);
+        for i in 0..40 {
+            assert_eq!(d.at(i, i), 0.0);
+            for j in 0..40 {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(d.at(i, j), d.at(j, i), "symmetric");
+                assert!((4.0..=33.0).contains(&d.at(i, j)), "range: {}", d.at(i, j));
+                for k in 0..40 {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    assert!(
+                        d.at(i, j) <= d.at(i, k) + d.at(k, j) + 1e-9,
+                        "triangle violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_histogram_rescales_to_the_observed_range() {
+        // The old fixed buckets collapsed everything into bucket 0 once
+        // decayed scores were read; rescaled edges spread the mass.
+        let scores = [0, 0, 1, 3, 9, 14, 20];
+        let (hist, edges) = score_histogram(&scores);
+        assert_eq!(edges, [1, 6, 11, 16]);
+        assert_eq!(hist, [2, 2, 1, 1, 1]);
+        assert!(
+            hist.iter().filter(|&&c| c > 0).count() >= 3,
+            "degenerate spread: {hist:?}"
+        );
+        let (hist, edges) = score_histogram(&[0, 1, 2, 3, 4, 7]);
+        assert_eq!(edges, [1, 3, 5, 7]);
+        assert_eq!(hist, [1, 2, 2, 0, 1]);
+        // Small ranges keep the classic unit-width buckets.
+        let (hist, edges) = score_histogram(&[0, 0, 2, 4]);
+        assert_eq!(edges, [1, 2, 3, 4]);
+        assert_eq!(hist, [2, 0, 1, 0, 1]);
     }
 }

@@ -34,14 +34,29 @@ pub enum Message {
     BootstrapResponse { peers: Vec<NodeId> },
     /// First contact with a peer; the receiver replies with `LsdbSync`.
     Hello { from: NodeId },
-    /// Full LSDB transfer to a newcomer.
+    /// Full LSDB transfer to a newcomer, or an anti-entropy delta.
     LsdbSync { lsas: Vec<LinkStateAnnouncement> },
-    /// Flooded link-state announcement.
-    LinkState(LinkStateAnnouncement),
-    /// Measurement probe (ICMP ECHO stand-in; §4.3 sizes it at 320 bits).
-    Ping { from: NodeId, nonce: u64 },
-    /// Probe reply echoing the nonce.
-    Pong { from: NodeId, nonce: u64 },
+    /// Anti-entropy digest: the sender's per-origin `(origin, seq)`
+    /// summary, exchanged with one rotating partner per sync tick. The
+    /// receiver pushes back fresher LSAs (`LsdbSync`) and pulls stale
+    /// ones (`LsdbPull`).
+    LsdbDigest {
+        from: NodeId,
+        entries: Vec<(NodeId, u64)>,
+    },
+    /// Anti-entropy delta pull: origins where the digest sender was
+    /// fresher; answered with an `LsdbSync` carrying just those LSAs.
+    LsdbPull { from: NodeId, origins: Vec<NodeId> },
+    /// Gossiped link-state announcement. `ttl` bounds forwarding: each
+    /// fresh receiver re-gossips with `ttl − 1` until it hits zero;
+    /// anti-entropy repairs whatever the bounded push missed.
+    LinkState { lsa: LinkStateAnnouncement, ttl: u8 },
+    /// Measurement probe (ICMP ECHO stand-in; §4.3 sizes it at 320
+    /// bits). `hb` marks keepalives on established links (§3.3), which
+    /// the overhead ledger classes as heartbeat rather than measurement.
+    Ping { from: NodeId, nonce: u64, hb: bool },
+    /// Probe reply echoing the nonce (and the heartbeat marker).
+    Pong { from: NodeId, nonce: u64, hb: bool },
     /// Aggressive keepalive on donated backbone links (§3.3).
     Heartbeat { from: NodeId },
     /// Graceful departure.
@@ -55,10 +70,17 @@ impl Message {
             Message::BootstrapRequest { .. } | Message::BootstrapResponse { .. } => {
                 MessageClass::Bootstrap
             }
-            Message::Hello { .. } | Message::LsdbSync { .. } => MessageClass::Sync,
-            Message::LinkState(_) => MessageClass::LinkState,
-            Message::Ping { .. } | Message::Pong { .. } => MessageClass::Measurement,
-            Message::Heartbeat { .. } => MessageClass::Heartbeat,
+            Message::Hello { .. }
+            | Message::LsdbSync { .. }
+            | Message::LsdbDigest { .. }
+            | Message::LsdbPull { .. } => MessageClass::Sync,
+            Message::LinkState { .. } => MessageClass::LinkState,
+            Message::Ping { hb: false, .. } | Message::Pong { hb: false, .. } => {
+                MessageClass::Measurement
+            }
+            Message::Ping { hb: true, .. }
+            | Message::Pong { hb: true, .. }
+            | Message::Heartbeat { .. } => MessageClass::Heartbeat,
             Message::Leave { .. } => MessageClass::Control,
         }
     }
@@ -120,18 +142,31 @@ mod tests {
             },
             Message::Hello { from: NodeId(1) },
             Message::LsdbSync { lsas: vec![] },
-            Message::LinkState(LinkStateAnnouncement {
-                origin: NodeId(1),
-                seq: 0,
-                links: vec![],
-            }),
+            Message::LsdbDigest {
+                from: NodeId(1),
+                entries: vec![(NodeId(2), 7)],
+            },
+            Message::LsdbPull {
+                from: NodeId(1),
+                origins: vec![NodeId(2)],
+            },
+            Message::LinkState {
+                lsa: LinkStateAnnouncement {
+                    origin: NodeId(1),
+                    seq: 0,
+                    links: vec![],
+                },
+                ttl: 2,
+            },
             Message::Ping {
                 from: NodeId(1),
                 nonce: 9,
+                hb: false,
             },
             Message::Pong {
                 from: NodeId(1),
                 nonce: 9,
+                hb: false,
             },
             Message::Heartbeat { from: NodeId(1) },
             Message::Leave { from: NodeId(1) },
@@ -140,6 +175,28 @@ mod tests {
             // Just ensure classification is total and stable.
             let _ = m.class();
         }
+    }
+
+    #[test]
+    fn heartbeat_probes_are_classed_apart_from_measurement() {
+        let probe = Message::Ping {
+            from: NodeId(1),
+            nonce: 3,
+            hb: false,
+        };
+        let keepalive = Message::Ping {
+            from: NodeId(1),
+            nonce: 3,
+            hb: true,
+        };
+        assert_eq!(probe.class(), MessageClass::Measurement);
+        assert_eq!(keepalive.class(), MessageClass::Heartbeat);
+        let echo = Message::Pong {
+            from: NodeId(2),
+            nonce: 3,
+            hb: true,
+        };
+        assert_eq!(echo.class(), MessageClass::Heartbeat);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub trait Transport: Send + 'static {
     /// Receive the next frame as `(sender, bytes)`. `None` = transport
     /// closed.
     fn recv(&mut self) -> impl std::future::Future<Output = Option<(NodeId, Bytes)>> + Send;
+
+    /// Non-blocking receive: the next already-delivered frame, or `None`
+    /// when the queue is currently empty. Drivers that multiplex many
+    /// nodes on one task (the fleet timer wheel) drain with this instead
+    /// of `recv`. Transports without buffering semantics keep the
+    /// default (always empty).
+    fn try_recv(&mut self) -> Option<(NodeId, Bytes)> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -222,6 +231,10 @@ impl Transport for SimTransport {
 
     async fn recv(&mut self) -> Option<(NodeId, Bytes)> {
         self.rx.recv().await
+    }
+
+    fn try_recv(&mut self) -> Option<(NodeId, Bytes)> {
+        self.rx.try_recv()
     }
 }
 

@@ -5,9 +5,17 @@
 //!   fleet reconverges to ≥95% route reachability within the horizon.
 //! * A Sybil swarm running an eclipse lure ends with no attacker
 //!   identity in any honest node's active view.
+//! * A swarm forging only *third-party* links (invisible to the
+//!   first-hand audit) ends with zero forged links in any honest
+//!   routing graph and every lure origin banned by ≥90% of the fleet.
 //! * Same seed + config ⇒ byte-identical robustness reports.
+//!
+//! The n=1000 scale scenario runs in the bench binary (`chaos_fleet
+//! --quick`), not here — it needs a release build to finish quickly.
 
-use egoist_proto::fleet::{run_fleet, storm_partition_profile, sybil_eclipse_profile};
+use egoist_proto::fleet::{
+    run_fleet, storm_partition_profile, sybil_eclipse_profile, third_party_lure_profile,
+};
 
 #[test]
 fn storm_partition_fleet_reconverges() {
@@ -59,6 +67,43 @@ fn sybil_eclipse_is_defeated() {
     assert!(
         a.pongs > 0,
         "swarm answered no pings (the lure needs measurable identities)"
+    );
+    // Honest routing survives the attack.
+    assert!(
+        r.final_reachability >= 0.95,
+        "attack degraded honest routing: {}",
+        r.final_reachability
+    );
+}
+
+#[test]
+fn third_party_forgery_is_quarantined_and_banned() {
+    let cfg = third_party_lure_profile(true);
+    let r = run_fleet(&cfg);
+    // The ranking engine actually fired on the forged claims…
+    assert!(
+        r.claims_contradicted > 0,
+        "no third-party claim was ever contradicted"
+    );
+    assert!(
+        r.links_quarantined > 0,
+        "no forged link was ever quarantined from route computation"
+    );
+    // …and no forged link survives in any honest routing graph.
+    assert_eq!(
+        r.forged_links_in_routes, 0,
+        "forged third-party links leaked into honest routing graphs"
+    );
+    // Repeatedly-contradicted origins end up banned fleet-wide.
+    let frac = r.lure_ban_frac.expect("sybil scenario has a ban fraction");
+    assert!(
+        frac >= 0.9,
+        "lure origins banned by only {:.0}% of honest nodes",
+        frac * 100.0
+    );
+    assert_eq!(
+        r.attacker_in_active_views, 0,
+        "attacker identities survive in honest active views"
     );
     // Honest routing survives the attack.
     assert!(

@@ -96,8 +96,12 @@ fn proto_registry_counters_match_overhead_ledgers() {
             "{label}: registry bytes vs summed per-node ledgers"
         );
     }
-    // The overlay actually did something measurable.
+    // The overlay actually did something measurable, and the
+    // heartbeat/measurement split is real: liveness pings to wired
+    // neighbors land in the heartbeat class, candidate probes in the
+    // measurement class, and neither is empty.
     assert!(reg.counter_value("proto.send.measurement.frames") > 0);
+    assert!(reg.counter_value("proto.send.heartbeat.frames") > 0);
     assert!(reg.counter_value("proto.send.link_state.frames") > 0);
     assert_eq!(reg.counter_value("proto.decode_errors"), 0);
     // Joins landed in the convergence histogram — at most one per node

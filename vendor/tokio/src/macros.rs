@@ -48,6 +48,17 @@ pub enum Sel6<A, B, C, D, E, F> {
     S6(F),
 }
 
+/// Outcome of a 7-way select.
+pub enum Sel7<A, B, C, D, E, F, G> {
+    S1(A),
+    S2(B),
+    S3(C),
+    S4(D),
+    S5(E),
+    S6(F),
+    S7(G),
+}
+
 /// Wait on multiple futures, running the handler of the first to finish.
 #[macro_export]
 macro_rules! select {
@@ -208,6 +219,54 @@ macro_rules! select {
             $crate::macros::Sel6::S4($p4) => $b4,
             $crate::macros::Sel6::S5($p5) => $b5,
             $crate::macros::Sel6::S6($p6) => $b6,
+        }
+    }};
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block
+     $p3:pat = $f3:expr => $b3:block $p4:pat = $f4:expr => $b4:block
+     $p5:pat = $f5:expr => $b5:block $p6:pat = $f6:expr => $b6:block
+     $p7:pat = $f7:expr => $b7:block) => {{
+        let __sel = {
+            let mut __sf1 = ::std::pin::pin!($f1);
+            let mut __sf2 = ::std::pin::pin!($f2);
+            let mut __sf3 = ::std::pin::pin!($f3);
+            let mut __sf4 = ::std::pin::pin!($f4);
+            let mut __sf5 = ::std::pin::pin!($f5);
+            let mut __sf6 = ::std::pin::pin!($f6);
+            let mut __sf7 = ::std::pin::pin!($f7);
+            ::std::future::poll_fn(|__cx| {
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf1.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S1(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf2.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S2(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf3.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S3(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf4.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S4(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf5.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S5(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf6.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S6(v));
+                }
+                if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll(__sf7.as_mut(), __cx) {
+                    return ::std::task::Poll::Ready($crate::macros::Sel7::S7(v));
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __sel {
+            $crate::macros::Sel7::S1($p1) => $b1,
+            $crate::macros::Sel7::S2($p2) => $b2,
+            $crate::macros::Sel7::S3($p3) => $b3,
+            $crate::macros::Sel7::S4($p4) => $b4,
+            $crate::macros::Sel7::S5($p5) => $b5,
+            $crate::macros::Sel7::S6($p6) => $b6,
+            $crate::macros::Sel7::S7($p7) => $b7,
         }
     }};
 }
