@@ -60,6 +60,14 @@ impl Preferences {
         Preferences { n, weights }
     }
 
+    /// Build from an explicit dense weight matrix (row-major, length
+    /// `n·n`). Used by the traffic-aware wiring policy, which blends the
+    /// base preferences with an observed demand matrix.
+    pub fn from_weights(n: usize, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), n * n, "weights must be dense n×n");
+        Preferences { n, weights }
+    }
+
     /// `p_ij`.
     #[inline]
     pub fn get(&self, i: NodeId, j: NodeId) -> f64 {

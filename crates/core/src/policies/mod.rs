@@ -13,6 +13,7 @@
 //! | k-Regular | §3.2 | [`regular`] |
 //! | HybridBR (donated links) | §3.3 | [`hybrid`] |
 //! | Bandwidth BR (max bottleneck sum) | §4.1, App. A | [`bandwidth`] |
+//! | Traffic-aware BR (demand-blended prefs) | §5 (traffic) | [`traffic_aware`] |
 
 pub mod bandwidth;
 pub mod best_response;
@@ -21,6 +22,7 @@ pub mod epsilon;
 pub mod hybrid;
 pub mod random;
 pub mod regular;
+pub mod traffic_aware;
 
 use crate::cost::Preferences;
 use crate::residual::ResidualView;
@@ -94,6 +96,14 @@ pub enum PolicyKind {
     EpsilonBestResponse { epsilon: f64 },
     /// HybridBR: donate `k2` links to the connectivity backbone (§3.3).
     HybridBestResponse { k2: usize },
+    /// Best response over demand-blended preferences: candidates are
+    /// weighted by the observed traffic matrix (mixed into the base
+    /// preferences with weight `bias`), so heavy destinations pull
+    /// direct links toward themselves. The wiring solver itself is the
+    /// ordinary local-search BR — only the preference rows differ, and
+    /// the simulator supplies those via
+    /// [`traffic_aware::demand_weighted_prefs`].
+    TrafficAware { bias: f64 },
 }
 
 impl PolicyKind {
@@ -109,6 +119,9 @@ impl PolicyKind {
                 Box::new(epsilon::EpsilonBr::new(epsilon))
             }
             PolicyKind::HybridBestResponse { k2 } => Box::new(hybrid::HybridBr::new(k2)),
+            PolicyKind::TrafficAware { .. } => {
+                Box::new(best_response::BestResponse::local_search())
+            }
         }
     }
 
@@ -127,6 +140,9 @@ impl PolicyKind {
             }
             PolicyKind::EpsilonBestResponse { epsilon } => {
                 Box::new(epsilon::EpsilonBr::reference(epsilon))
+            }
+            PolicyKind::TrafficAware { .. } => {
+                Box::new(best_response::BestResponse::local_search().with_reference(true))
             }
             other => other.instantiate(),
         }
@@ -155,6 +171,7 @@ impl PolicyKind {
             PolicyKind::ExactBestResponse => "BR-exact".into(),
             PolicyKind::EpsilonBestResponse { epsilon } => format!("BR({epsilon})"),
             PolicyKind::HybridBestResponse { k2 } => format!("HybridBR(k2={k2})"),
+            PolicyKind::TrafficAware { bias } => format!("BR-demand({bias})"),
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Traffic-aware wiring: demand-blended preference rows.
+//!
+//! The EGOIST cost model already supports non-uniform preferences
+//! (`C_i = Σ p_ij · d_ij`, §4.2: "skew only helps BR"). The
+//! traffic-aware policy exploits that hook instead of inventing a new
+//! solver: the simulator feeds it the *observed* demand matrix (an EWMA
+//! over routed epochs), this module turns each row into a probability
+//! distribution and mixes it into the base preferences with weight
+//! `bias`, and the ordinary local-search best response runs over the
+//! blended rows. Destinations carrying real traffic thus pull direct
+//! links toward themselves, shortening exactly the paths the data plane
+//! uses.
+
+use crate::cost::Preferences;
+
+/// Blend base preferences with a dense row-major demand matrix.
+///
+/// For each source `i` with total outgoing demand `T_i = Σ_{j≠i} D_ij`:
+///
+/// ```text
+/// p'_ij = (1 − bias) · p_ij + bias · D_ij / T_i
+/// ```
+///
+/// Rows with no observed demand (`T_i ≤ 0`) keep their base row
+/// unchanged, so cold-start epochs wire exactly like plain BR. `bias`
+/// is clamped to `[0, 1]`; the diagonal is forced to zero. Row sums are
+/// preserved whenever the base row sums to 1 (both mixed terms are
+/// distributions), so cost magnitudes stay comparable across policies.
+pub fn demand_weighted_prefs(
+    base: &Preferences,
+    demand: &[f64],
+    bias: f64,
+    n: usize,
+) -> Preferences {
+    assert_eq!(base.len(), n, "preference size must match n");
+    assert_eq!(demand.len(), n * n, "demand must be dense n×n");
+    let bias = bias.clamp(0.0, 1.0);
+    let mut weights = vec![0.0; n * n];
+    for i in 0..n {
+        let row = base.row(i);
+        let total: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| demand[i * n + j].max(0.0))
+            .sum();
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            weights[i * n + j] = if total > 0.0 {
+                (1.0 - bias) * row[j] + bias * demand[i * n + j].max(0.0) / total
+            } else {
+                row[j]
+            };
+        }
+    }
+    Preferences::from_weights(n, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egoist_graph::NodeId;
+
+    #[test]
+    fn zero_demand_keeps_base_rows() {
+        let base = Preferences::uniform(4);
+        let blended = demand_weighted_prefs(&base, &[0.0; 16], 0.8, 4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i == j {
+                    continue; // the blend zeroes the (ignored) diagonal
+                }
+                assert_eq!(
+                    blended.get(NodeId(i), NodeId(j)),
+                    base.get(NodeId(i), NodeId(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hot_destination_gains_weight() {
+        let n = 4;
+        let base = Preferences::uniform(n);
+        let mut demand = vec![0.0; n * n];
+        demand[2] = 90.0; // 0 → 2 is hot
+        demand[1] = 10.0; // 0 → 1 is lukewarm
+        let blended = demand_weighted_prefs(&base, &demand, 0.5, n);
+        let uniform = 1.0 / 3.0;
+        let hot = blended.get(NodeId(0), NodeId(2));
+        let warm = blended.get(NodeId(0), NodeId(1));
+        let cold = blended.get(NodeId(0), NodeId(3));
+        assert!((hot - (0.5 * uniform + 0.5 * 0.9)).abs() < 1e-12);
+        assert!((warm - (0.5 * uniform + 0.5 * 0.1)).abs() < 1e-12);
+        assert!((cold - 0.5 * uniform).abs() < 1e-12);
+        // Row 1 saw no demand: untouched.
+        assert_eq!(blended.get(NodeId(1), NodeId(0)), uniform);
+        // Row sum preserved.
+        let sum: f64 = (0..n)
+            .filter(|&j| j != 0)
+            .map(|j| blended.get(NodeId(0), NodeId(j as u32)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_one_is_pure_demand_bias_zero_is_base() {
+        let n = 3;
+        let base = Preferences::uniform(n);
+        let mut demand = vec![0.0; n * n];
+        demand[1] = 5.0;
+        demand[2] = 15.0;
+        let pure = demand_weighted_prefs(&base, &demand, 1.0, n);
+        assert!((pure.get(NodeId(0), NodeId(1)) - 0.25).abs() < 1e-12);
+        assert!((pure.get(NodeId(0), NodeId(2)) - 0.75).abs() < 1e-12);
+        let none = demand_weighted_prefs(&base, &demand, 0.0, n);
+        assert_eq!(none.get(NodeId(0), NodeId(1)), 0.5);
+        // Out-of-range bias clamps rather than extrapolating.
+        let clamped = demand_weighted_prefs(&base, &demand, 2.5, n);
+        assert_eq!(
+            clamped.get(NodeId(0), NodeId(2)),
+            pure.get(NodeId(0), NodeId(2))
+        );
+    }
+
+    #[test]
+    fn negative_demand_entries_are_ignored() {
+        let n = 3;
+        let base = Preferences::uniform(n);
+        let mut demand = vec![0.0; n * n];
+        demand[1] = -8.0;
+        demand[2] = 10.0;
+        let blended = demand_weighted_prefs(&base, &demand, 1.0, n);
+        assert_eq!(blended.get(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(blended.get(NodeId(0), NodeId(2)), 1.0);
+    }
+}

@@ -207,6 +207,11 @@ pub struct Simulator {
     wiring: Wiring,
     alive: Vec<bool>,
     prefs: Preferences,
+    /// Demand-blended preferences (traffic-aware wiring only). `None`
+    /// until [`Simulator::set_observed_demand`] is fed a matrix; re-wire
+    /// paths fall back to `prefs`, and `measure()` always uses the base
+    /// `prefs` so reported costs stay comparable across policies.
+    demand_prefs: Option<Preferences>,
     policy: Box<dyn Policy + Send + Sync>,
     policy_rng: StdRng,
     underlay_rng: StdRng,
@@ -276,6 +281,7 @@ impl Simulator {
             wiring: Wiring::empty(n),
             alive: vec![true; n],
             prefs: Preferences::uniform(n),
+            demand_prefs: None,
             policy: match cfg.engine {
                 EngineMode::Epoch => cfg.policy.instantiate(),
                 EngineMode::Recompute => cfg.policy.instantiate_reference(),
@@ -498,7 +504,7 @@ impl Simulator {
                 candidates: &candidates,
                 direct: &direct,
                 residual: ResidualView::dense(&residual),
-                prefs: &self.prefs,
+                prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
                 alive: &self.alive,
                 penalty,
                 current: &current,
@@ -521,7 +527,7 @@ impl Simulator {
             candidates: &candidates,
             direct: &direct,
             residual,
-            prefs: &self.prefs,
+            prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
             alive: &self.alive,
             penalty,
             current: &current,
@@ -545,7 +551,8 @@ impl Simulator {
             PolicyKind::BestResponse
             | PolicyKind::ExactBestResponse
             | PolicyKind::EpsilonBestResponse { .. }
-            | PolicyKind::HybridBestResponse { .. } => {
+            | PolicyKind::HybridBestResponse { .. }
+            | PolicyKind::TrafficAware { .. } => {
                 if self.cfg.engine == EngineMode::Recompute {
                     let announced = self.announced_cost_matrix(); // probe estimates
                     let residual_graph = self.wiring.residual_graph(i, &announced, &self.alive);
@@ -556,7 +563,7 @@ impl Simulator {
                         candidates,
                         direct_bw: &direct,
                         residual_bw: ResidualView::dense(&residual_bw),
-                        prefs: &self.prefs,
+                        prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
                         alive: &self.alive,
                     };
                     bandwidth_best_response(&ctx).0
@@ -569,7 +576,7 @@ impl Simulator {
                         candidates,
                         direct_bw: &direct,
                         residual_bw,
-                        prefs: &self.prefs,
+                        prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
                         alive: &self.alive,
                     };
                     let span = self.obs.solver.start();
@@ -587,7 +594,7 @@ impl Simulator {
                     candidates,
                     direct_bw: &direct,
                     residual_bw: ResidualView::dense(&residual_bw),
-                    prefs: &self.prefs,
+                    prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
                     alive: &self.alive,
                 };
                 k_widest(&ctx)
@@ -602,7 +609,7 @@ impl Simulator {
                     candidates,
                     direct: &direct,
                     residual: ResidualView::dense(&residual),
-                    prefs: &self.prefs,
+                    prefs: self.demand_prefs.as_ref().unwrap_or(&self.prefs),
                     alive: &self.alive,
                     penalty: 1.0,
                     current: &current,
@@ -654,6 +661,26 @@ impl Simulator {
         if changed {
             self.route_state.invalidate();
         }
+    }
+
+    /// Feed the simulator an observed demand matrix (dense row-major
+    /// `n·n`, Mbps). Under [`PolicyKind::TrafficAware`] the next
+    /// re-wiring turns run best response over preferences blended with
+    /// this matrix ([`crate::policies::traffic_aware`]); under every
+    /// other policy the call is a no-op, so closed-loop engines can feed
+    /// demand unconditionally without perturbing the pinned baselines.
+    /// `measure()` always scores against the base preferences either
+    /// way, keeping reported costs comparable across policies.
+    pub fn set_observed_demand(&mut self, demand: &[f64]) {
+        let PolicyKind::TrafficAware { bias } = self.cfg.policy else {
+            return;
+        };
+        self.demand_prefs = Some(crate::policies::traffic_aware::demand_weighted_prefs(
+            &self.prefs,
+            demand,
+            bias,
+            self.cfg.n,
+        ));
     }
 
     /// Take the per-epoch measurement.

@@ -15,13 +15,19 @@
 //!    epoch;
 //! 5. the epoch is measured (control-plane sample + traffic report).
 
+use crate::backpressure::BackpressureConfig;
 use crate::demand::{DemandGenerator, WorkloadKind};
-use crate::feedback::{self, FeedbackConfig};
+use crate::feedback::{self, AimdConfig, AimdController, FeedbackConfig};
+use crate::policy::{DataPolicyKind, DelayAwareConfig};
 use crate::report::TrafficReport;
-use crate::router::{FlowRouter, RouteInputs, RouterConfig};
+use crate::router::{RouteInputs, RouterConfig};
 use egoist_core::policies::PolicyKind;
 use egoist_core::sim::{Metric, SimConfig, Simulator};
 use egoist_graph::DistanceMatrix;
+
+/// Smoothing factor for the observed demand matrix fed to
+/// traffic-aware wiring (per-epoch EWMA over offered rates).
+const DEMAND_EWMA_ALPHA: f64 = 0.3;
 
 /// Everything one traffic experiment needs.
 #[derive(Clone, Debug)]
@@ -35,6 +41,16 @@ pub struct TrafficConfig {
     pub flows_per_epoch: usize,
     pub router: RouterConfig,
     pub feedback: FeedbackConfig,
+    /// Which data-plane routing policy carries the flows. The default
+    /// ([`DataPolicyKind::ShortestPath`]) reproduces the pre-policy
+    /// engine byte for byte.
+    pub data_policy: DataPolicyKind,
+    /// Backpressure tuning (used when `data_policy` is `Backpressure`).
+    pub backpressure: BackpressureConfig,
+    /// Delay-aware tuning (used when `data_policy` is `DelayAware`).
+    pub delay_aware: DelayAwareConfig,
+    /// Per-flow AIMD congestion control (off by default).
+    pub aimd: AimdConfig,
 }
 
 impl TrafficConfig {
@@ -54,6 +70,10 @@ impl TrafficConfig {
             flows_per_epoch: 32,
             router: RouterConfig::default(),
             feedback: FeedbackConfig::default(),
+            data_policy: DataPolicyKind::ShortestPath,
+            backpressure: BackpressureConfig::default(),
+            delay_aware: DelayAwareConfig::default(),
+            aimd: AimdConfig::default(),
         }
     }
 }
@@ -74,7 +94,16 @@ impl TrafficEngine {
             cfg.sim.seed,
             sim.delays().base(),
         );
-        let router = FlowRouter::new(cfg.router);
+        let mut policy =
+            cfg.data_policy
+                .instantiate(n, cfg.router, cfg.backpressure, cfg.delay_aware);
+        let mut aimd = AimdController::new(cfg.aimd);
+        // Traffic-aware wiring: maintain an EWMA of the offered demand
+        // matrix and feed it to the control plane, which blends it into
+        // the BR preference weights. The feed is a no-op for every
+        // other wiring policy, so default runs are untouched.
+        let traffic_aware = matches!(cfg.sim.policy, PolicyKind::TrafficAware { .. });
+        let mut demand_ewma = vec![0.0f64; n * n];
         let epoch_timer = egoist_obs::registry().timer("traffic.epoch");
         let mut report = TrafficReport::new(
             sim.config_label(),
@@ -83,12 +112,28 @@ impl TrafficEngine {
             cfg.feedback.enabled,
             cfg.sim.warmup_epochs,
         );
+        if cfg.data_policy != DataPolicyKind::ShortestPath {
+            report.data_policy = Some(cfg.data_policy.label().to_string());
+        }
 
         for epoch in 0..cfg.sim.epochs {
             let _epoch_span = epoch_timer.start();
             let rewirings = sim.run_epoch(epoch);
 
             let flows = demand.generate(epoch, sim.alive());
+            if traffic_aware {
+                for v in demand_ewma.iter_mut() {
+                    *v *= 1.0 - DEMAND_EWMA_ALPHA;
+                }
+                for f in &flows {
+                    demand_ewma[f.src.index() * n + f.dst.index()] +=
+                        DEMAND_EWMA_ALPHA * f.rate_mbps;
+                }
+                // Seen at the *next* epoch's re-wiring turns — demand
+                // observations lag one epoch, like every other sensor.
+                sim.set_observed_demand(&demand_ewma);
+            }
+            let flows = aimd.shape(&flows);
             // Zero-copy read path: borrow the announced matrix from the
             // live route snapshot when one exists (bit-identical to
             // recomputing it) instead of materializing a fresh one.
@@ -114,7 +159,8 @@ impl TrafficEngine {
                 node_load: &node_load,
                 capacity: &capacity,
             };
-            let outcome = router.route(&flows, &inputs);
+            let outcome = policy.route_epoch(epoch as u64, &flows, &inputs);
+            aimd.update(&outcome);
 
             // Closed loop: next epoch's sensors and probes see this.
             feedback::apply(&mut sim, &outcome, &cfg.feedback);
@@ -124,6 +170,39 @@ impl TrafficEngine {
         }
         report
     }
+}
+
+/// One point of an offered-load sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub data_policy: DataPolicyKind,
+    pub offered_mbps: f64,
+    pub report: TrafficReport,
+}
+
+/// Sweep offered load × data policy over one base configuration — the
+/// single code path shared by the `traffic_workloads --sweep` mode and
+/// the `policy_race` bench bin. Points are produced in deterministic
+/// order: policies outer, loads inner.
+pub fn sweep_offered(
+    base: &TrafficConfig,
+    loads: &[f64],
+    policies: &[DataPolicyKind],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(loads.len() * policies.len());
+    for &data_policy in policies {
+        for &offered_mbps in loads {
+            let mut cfg = base.clone();
+            cfg.data_policy = data_policy;
+            cfg.offered_mbps = offered_mbps;
+            points.push(SweepPoint {
+                data_policy,
+                offered_mbps,
+                report: TrafficEngine::run(&cfg),
+            });
+        }
+    }
+    points
 }
 
 #[cfg(test)]
@@ -217,6 +296,71 @@ mod tests {
             rm.summary.delivered_mbps,
             rs.summary.delivered_mbps
         );
+    }
+
+    #[test]
+    fn data_policies_same_seed_bit_identical() {
+        for dp in DataPolicyKind::all() {
+            let mut cfg = quick(PolicyKind::BestResponse, Metric::DelayPing, 11);
+            cfg.data_policy = dp;
+            cfg.offered_mbps = 900.0;
+            let a = TrafficEngine::run(&cfg).to_json();
+            let b = TrafficEngine::run(&cfg).to_json();
+            assert_eq!(a, b, "{dp:?} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn non_default_policy_labels_its_report() {
+        let mut cfg = quick(PolicyKind::BestResponse, Metric::DelayPing, 3);
+        cfg.data_policy = DataPolicyKind::Backpressure;
+        let r = TrafficEngine::run(&cfg);
+        assert_eq!(r.data_policy.as_deref(), Some("backpressure"));
+        assert!(r.to_json().contains("\"data_policy\":\"backpressure\""));
+        assert!(r.summary.delivered_mbps > 0.0);
+    }
+
+    #[test]
+    fn aimd_shapes_offered_load_under_saturation() {
+        let mut cfg = quick(PolicyKind::BestResponse, Metric::DelayPing, 4);
+        cfg.offered_mbps = 5000.0; // far beyond capacity
+        let baseline = TrafficEngine::run(&cfg);
+        cfg.aimd.enabled = true;
+        let shaped = TrafficEngine::run(&cfg);
+        // AIMD backs senders off, so less is offered into the network…
+        let last = shaped.epochs.last().unwrap();
+        assert!(
+            last.offered_mbps < 5000.0 * 0.9,
+            "AIMD should shape offered load: {}",
+            last.offered_mbps
+        );
+        // …and the delivery ratio of what *is* sent improves.
+        assert!(
+            shaped.summary.delivery_ratio > baseline.summary.delivery_ratio,
+            "shaped {} vs one-shot {}",
+            shaped.summary.delivery_ratio,
+            baseline.summary.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid_in_order() {
+        let mut base = quick(PolicyKind::BestResponse, Metric::DelayPing, 5);
+        base.sim.epochs = 4;
+        base.sim.warmup_epochs = 1;
+        let pts = sweep_offered(
+            &base,
+            &[50.0, 500.0],
+            &[DataPolicyKind::ShortestPath, DataPolicyKind::Backpressure],
+        );
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].data_policy, DataPolicyKind::ShortestPath);
+        assert_eq!(pts[0].offered_mbps, 50.0);
+        assert_eq!(pts[3].data_policy, DataPolicyKind::Backpressure);
+        assert_eq!(pts[3].offered_mbps, 500.0);
+        for p in &pts {
+            assert!(p.report.summary.delivered_mbps > 0.0);
+        }
     }
 
     #[test]

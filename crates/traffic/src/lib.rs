@@ -23,9 +23,20 @@
 //!   epoch's announcements — EWMA load, bandwidth probes — react to the
 //!   congestion the overlay itself created, and best-response rewiring
 //!   routes around it.
+//! * [`policy`] — the [`policy::RoutingPolicy`] trait and its three
+//!   implementations: the shortest-path router above, per-destination
+//!   [`backpressure`] (differential-backlog forwarding over [`queue`]
+//!   fluid queues — throughput-optimal, latency-oblivious) and a
+//!   delay-aware variant that augments announced edge weights with a
+//!   smoothed queuing-delay estimate and only re-routes past a
+//!   hysteresis margin (bounded flapping).
 //! * [`engine`] — drives an `egoist_core::sim::Simulator` epoch by epoch
-//!   (control plane), routes the epoch's flows (data plane), applies
-//!   feedback, and measures.
+//!   (control plane), routes the epoch's flows (data plane) through the
+//!   configured policy with optional AIMD per-flow shaping
+//!   ([`feedback::AimdController`]), applies feedback, and measures.
+//!   [`engine::sweep_offered`] sweeps offered load × policy grids — the
+//!   single code path shared by the `policy_race` and
+//!   `traffic_workloads --sweep` binaries.
 //! * [`report`] — the [`report::TrafficReport`] metrics sink:
 //!   throughput, delivery ratio, p50/p99 flow latency, path stretch vs.
 //!   the direct underlay path — exported as JSON (via [`json`], a small
@@ -46,16 +57,22 @@
 //! assert!(report.to_json().starts_with('{'));
 //! ```
 
+pub mod backpressure;
 pub mod capacity;
 pub mod demand;
 pub mod engine;
 pub mod feedback;
 pub mod json;
+pub mod policy;
+pub mod queue;
 pub mod report;
 pub mod router;
 
+pub use backpressure::{BackpressureConfig, BackpressureEngine};
 pub use demand::{DemandGenerator, Flow, WorkloadKind};
-pub use engine::{TrafficConfig, TrafficEngine};
+pub use engine::{sweep_offered, SweepPoint, TrafficConfig, TrafficEngine};
+pub use feedback::{AimdConfig, AimdController};
+pub use policy::{DataPolicyKind, DelayAwareConfig, RoutingPolicy};
 pub use report::TrafficReport;
 pub use router::{FlowRouter, RouteOutcome};
 

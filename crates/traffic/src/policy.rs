@@ -1,0 +1,503 @@
+//! The data-plane routing policy abstraction.
+//!
+//! Three ways to turn one epoch's flows into carried traffic:
+//!
+//! * [`DataPolicyKind::ShortestPath`] — the original announced-shortest
+//!   path router ([`FlowRouter`]), optionally multipath. One-shot
+//!   admission against the capacity ledger.
+//! * [`DataPolicyKind::Backpressure`] — per-destination-queue
+//!   differential-backlog forwarding ([`crate::backpressure`]):
+//!   throughput-optimal, path-free, pays for it in queueing delay.
+//! * [`DataPolicyKind::DelayAware`] — shortest path over announced cost
+//!   **plus** a smoothed per-link queuing-delay estimate, with
+//!   hysteresis on path switches (Jonglez et al., arXiv:1403.3488):
+//!   a flow's path changes only when the alternative is at least
+//!   `hysteresis` relatively cheaper — with both paths evaluated under
+//!   the flow's own induced queue, so an idle alternative can't look
+//!   spuriously cheap — which kills route flapping on saturated links.
+//!   Route changes are counted into [`RouteOutcome::route_changes`].
+//!
+//! All three implement [`RoutingPolicy`] and are driven identically by
+//! the engine, so benches sweep them through one code path.
+
+use crate::backpressure::{BackpressureConfig, BackpressureEngine};
+use crate::capacity::CapacityLedger;
+use crate::demand::Flow;
+use crate::router::{FlowRouter, RouteInputs, RouteOutcome, RoutedFlow, RouterConfig};
+use egoist_graph::csr::{path_from_parents, NO_PARENT};
+use egoist_graph::{CsrGraph, DiGraph, DijkstraWorkspace, NodeId};
+use std::collections::HashMap;
+
+/// One epoch of routing under some policy. Implementations may keep
+/// cross-epoch state (queues, smoothed delay estimates, remembered
+/// paths) but must stay deterministic: same construction + same call
+/// sequence → bit-identical outcomes.
+pub trait RoutingPolicy {
+    fn label(&self) -> &'static str;
+    fn route_epoch(&mut self, epoch: u64, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome;
+}
+
+/// Which data-plane policy the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DataPolicyKind {
+    /// Announced-shortest-path (the pre-existing router). The default:
+    /// report bytes and perf fingerprints are pinned to it.
+    #[default]
+    ShortestPath,
+    /// Differential-backlog forwarding with per-destination queues.
+    Backpressure,
+    /// Smoothed queuing-delay metric with switch hysteresis.
+    DelayAware,
+}
+
+impl DataPolicyKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            DataPolicyKind::ShortestPath => "spf",
+            DataPolicyKind::Backpressure => "backpressure",
+            DataPolicyKind::DelayAware => "delay-aware",
+        }
+    }
+
+    pub fn all() -> [DataPolicyKind; 3] {
+        [
+            DataPolicyKind::ShortestPath,
+            DataPolicyKind::Backpressure,
+            DataPolicyKind::DelayAware,
+        ]
+    }
+
+    /// Build the policy object for an `n`-node run.
+    pub fn instantiate(
+        self,
+        n: usize,
+        router: RouterConfig,
+        bp: BackpressureConfig,
+        da: DelayAwareConfig,
+    ) -> Box<dyn RoutingPolicy + Send> {
+        match self {
+            DataPolicyKind::ShortestPath => Box::new(ShortestPathPolicy {
+                router: FlowRouter::new(router),
+            }),
+            DataPolicyKind::Backpressure => Box::new(BackpressurePolicy {
+                engine: BackpressureEngine::new(n, bp, router.proc_ms_per_load),
+            }),
+            DataPolicyKind::DelayAware => Box::new(DelayAwarePolicy::new(n, da, router)),
+        }
+    }
+}
+
+/// The existing router behind the trait.
+pub struct ShortestPathPolicy {
+    pub router: FlowRouter,
+}
+
+impl RoutingPolicy for ShortestPathPolicy {
+    fn label(&self) -> &'static str {
+        "spf"
+    }
+
+    fn route_epoch(&mut self, epoch: u64, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        self.router.route(epoch, flows, inp)
+    }
+}
+
+/// Backpressure behind the trait.
+pub struct BackpressurePolicy {
+    pub engine: BackpressureEngine,
+}
+
+impl RoutingPolicy for BackpressurePolicy {
+    fn label(&self) -> &'static str {
+        "backpressure"
+    }
+
+    fn route_epoch(&mut self, _epoch: u64, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        self.engine.route_epoch(flows, inp)
+    }
+}
+
+/// Delay-aware tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayAwareConfig {
+    /// Weight of the smoothed queuing-delay estimate in the routing
+    /// cost (`w' = announced + delay_weight · q̂`).
+    pub delay_weight: f64,
+    /// Relative-improvement threshold for switching paths: keep the
+    /// current path unless the best alternative costs less than
+    /// `(1 − hysteresis) ×` the current one. 0 disables hysteresis.
+    pub hysteresis: f64,
+    /// EWMA smoothing factor for the per-link queuing estimate.
+    pub ewma_alpha: f64,
+    /// Cap on the per-link queuing estimate (ms) — keeps the M/M/1
+    /// blow-up `ρ/(1−ρ)` finite at saturation.
+    pub max_queue_ms: f64,
+}
+
+impl Default for DelayAwareConfig {
+    fn default() -> Self {
+        DelayAwareConfig {
+            delay_weight: 1.0,
+            hysteresis: 0.15,
+            ewma_alpha: 0.3,
+            max_queue_ms: 50.0,
+        }
+    }
+}
+
+/// Shortest-path routing on `announced + smoothed queuing delay`, with
+/// switch hysteresis. Keeps per-link EWMA estimates and each pair's
+/// current path across epochs.
+pub struct DelayAwarePolicy {
+    n: usize,
+    cfg: DelayAwareConfig,
+    router_cfg: RouterConfig,
+    /// Smoothed queuing-delay estimate per directed pair (ms), dense.
+    ewma_ms: Vec<f64>,
+    /// The path each (src, dst) pair is currently committed to.
+    current_paths: HashMap<(u32, u32), Vec<NodeId>>,
+    /// Lifetime route-change count (steady-state flapping observable).
+    pub route_changes_total: u64,
+}
+
+impl DelayAwarePolicy {
+    pub fn new(n: usize, cfg: DelayAwareConfig, router_cfg: RouterConfig) -> Self {
+        DelayAwarePolicy {
+            n,
+            cfg,
+            router_cfg,
+            ewma_ms: vec![0.0; n * n],
+            current_paths: HashMap::new(),
+            route_changes_total: 0,
+        }
+    }
+
+    #[inline]
+    fn q_est(&self, u: NodeId, v: NodeId) -> f64 {
+        self.ewma_ms[u.index() * self.n + v.index()]
+    }
+
+    /// The queuing delay `rate` Mbps would induce by itself on a link of
+    /// capacity `cap` (same capped M/M/1 shape as the measured estimate).
+    fn q_self(&self, rate: f64, cap: f64) -> f64 {
+        if cap <= 0.0 {
+            return self.cfg.max_queue_ms;
+        }
+        let rho = (rate / cap).min(0.95);
+        (rho / (1.0 - rho)).min(self.cfg.max_queue_ms)
+    }
+
+    /// Switch-decision cost of `path` for a flow of `rate` Mbps: per hop,
+    /// announced weight plus `delay_weight · max(q̂, q_self)`. Flooring
+    /// the measured estimate with the flow's *own* induced queue is what
+    /// kills ping-ponging — an idle alternative's estimate decays toward
+    /// zero, but it would saturate the moment the flow moved there, and
+    /// this cost says so up front. `None` when an edge no longer exists
+    /// (rewire/churn invalidated the path).
+    fn switch_cost(&self, path: &[NodeId], inp: &RouteInputs<'_>, rate: f64) -> Option<f64> {
+        let mut cost = 0.0;
+        for w in path.windows(2) {
+            let base = inp.overlay.edge_cost(w[0], w[1])?;
+            let q = self
+                .q_est(w[0], w[1])
+                .max(self.q_self(rate, inp.capacity.get(w[0], w[1])));
+            cost += base + self.cfg.delay_weight * q;
+        }
+        Some(cost)
+    }
+
+    /// Realized latency: true propagation + load-proportional processing
+    /// (as the other policies charge) + the smoothed queuing estimate on
+    /// every hop — the delay the metric itself predicts.
+    fn realized_latency_ms(&self, path: &[NodeId], inp: &RouteInputs<'_>) -> f64 {
+        let mut ms = 0.0;
+        for w in path.windows(2) {
+            ms += inp.true_delays.get(w[0], w[1]);
+            ms += self.router_cfg.proc_ms_per_load * inp.node_load[w[1].index()];
+            ms += self.q_est(w[0], w[1]);
+        }
+        ms
+    }
+}
+
+impl RoutingPolicy for DelayAwarePolicy {
+    fn label(&self) -> &'static str {
+        "delay-aware"
+    }
+
+    fn route_epoch(&mut self, _epoch: u64, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+        let n = self.n;
+        debug_assert_eq!(inp.overlay.len(), n);
+
+        // Overlay with queuing-adjusted edge weights.
+        let mut adjusted = DiGraph::new(n);
+        for (u, v, w) in inp.overlay.edges() {
+            adjusted.add_edge(u, v, w + self.cfg.delay_weight * self.q_est(u, v));
+        }
+        let csr = CsrGraph::from_digraph(&adjusted);
+        let mut ws = DijkstraWorkspace::new(n);
+
+        // One SSSP per distinct source (computed lazily, like FlowRouter).
+        let mut per_source: Vec<Option<(Vec<f64>, Vec<u32>)>> = vec![None; n];
+        let mut route_changes = 0u64;
+        // Path decision per distinct pair, in first-seen flow order.
+        let mut chosen: HashMap<(u32, u32), Option<Vec<NodeId>>> = HashMap::new();
+        for flow in flows {
+            let key = (flow.src.0, flow.dst.0);
+            if chosen.contains_key(&key) {
+                continue;
+            }
+            if per_source[flow.src.index()].is_none() {
+                let mut dist = vec![f64::INFINITY; n];
+                let mut parent = vec![NO_PARENT; n];
+                ws.sssp_into(&csr, flow.src.0, None, &mut dist, &mut parent);
+                per_source[flow.src.index()] = Some((dist, parent));
+            }
+            let (dist, parent) = per_source[flow.src.index()].as_ref().unwrap();
+            let candidate = path_from_parents(
+                parent,
+                flow.src.0,
+                flow.dst.0,
+                dist[flow.dst.index()].is_finite(),
+            );
+            let decision = match (self.current_paths.get(&key), candidate) {
+                (None, cand) => cand, // first sighting: adopt, not a change
+                (Some(old), None) => {
+                    // No route at all this epoch; drop the commitment.
+                    let _ = old;
+                    self.current_paths.remove(&key);
+                    None
+                }
+                (Some(old), Some(cand)) => {
+                    match self.switch_cost(old, inp, flow.rate_mbps) {
+                        // Old path broken by rewire/churn: forced switch
+                        // (not flapping — the route was taken away).
+                        None => Some(cand),
+                        Some(old_cost) => {
+                            let cand_cost = self
+                                .switch_cost(&cand, inp, flow.rate_mbps)
+                                .unwrap_or(f64::INFINITY);
+                            if cand != *old && cand_cost < old_cost * (1.0 - self.cfg.hysteresis) {
+                                route_changes += 1;
+                                Some(cand)
+                            } else {
+                                Some(old.clone())
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some(p) = &decision {
+                self.current_paths.insert(key, p.clone());
+            }
+            chosen.insert(key, decision);
+        }
+        self.route_changes_total += route_changes;
+
+        // Admission in original flow order, against the capacity ledger.
+        let obs = crate::router::traffic_obs();
+        let mut ledger = CapacityLedger::new(inp.capacity);
+        let offered: f64 = flows.iter().map(|f| f.rate_mbps).sum();
+        let mut routed = Vec::with_capacity(flows.len());
+        let mut delivered_total = 0.0;
+        let (mut admitted, mut dropped) = (0u64, 0u64);
+        for &flow in flows {
+            let path = chosen
+                .get(&(flow.src.0, flow.dst.0))
+                .and_then(|p| p.as_ref());
+            let Some(path) = path else {
+                dropped += 1;
+                routed.push(RoutedFlow {
+                    flow,
+                    delivered_mbps: 0.0,
+                    latency_ms: f64::NAN,
+                    stretch: f64::NAN,
+                    paths_used: 0,
+                });
+                continue;
+            };
+            let got = ledger.admit(path, flow.rate_mbps);
+            let (latency_ms, stretch) = if got > 0.0 {
+                let lat = self.realized_latency_ms(path, inp);
+                let direct = inp.true_delays.get(flow.src, flow.dst);
+                let prop: f64 = path
+                    .windows(2)
+                    .map(|w| inp.true_delays.get(w[0], w[1]))
+                    .sum();
+                let stretch = if direct > 0.0 {
+                    prop / direct
+                } else {
+                    f64::NAN
+                };
+                admitted += 1;
+                obs.latency_ms.observe(lat);
+                if stretch.is_finite() {
+                    obs.stretch.observe(stretch);
+                }
+                (lat, stretch)
+            } else {
+                dropped += 1;
+                (f64::NAN, f64::NAN)
+            };
+            delivered_total += got;
+            routed.push(RoutedFlow {
+                flow,
+                delivered_mbps: got,
+                latency_ms,
+                stretch,
+                paths_used: usize::from(got > 0.0),
+            });
+        }
+        obs.flows_offered.add(flows.len() as u64);
+        obs.flows_admitted.add(admitted);
+        obs.flows_dropped.add(dropped);
+
+        // Update the per-link queuing estimate from this epoch's
+        // realized utilization: M/M/1-style ρ/(1−ρ), capped, smoothed.
+        let consumed = ledger.consumed_matrix();
+        let alpha = self.cfg.ewma_alpha;
+        for (u, v, _) in inp.overlay.edges() {
+            let cap = inp.capacity.get(u, v);
+            let idx = u.index() * n + v.index();
+            let raw = if cap > 0.0 {
+                let rho = (consumed[idx] / cap).min(0.95);
+                (rho / (1.0 - rho)).min(self.cfg.max_queue_ms)
+            } else {
+                self.cfg.max_queue_ms
+            };
+            self.ewma_ms[idx] = alpha * raw + (1.0 - alpha) * self.ewma_ms[idx];
+        }
+
+        RouteOutcome {
+            flows: routed,
+            offered_mbps: offered,
+            delivered_mbps: delivered_total,
+            consumed: consumed.to_vec(),
+            forwarded: ledger.forwarded_per_node().to_vec(),
+            route_changes: route_changes as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egoist_graph::DistanceMatrix;
+
+    fn diamond() -> DiGraph {
+        // Two parallel 2-hop routes 0→1→3 (cheap) and 0→2→3 (pricier).
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.2);
+        g.add_edge(NodeId(2), NodeId(3), 1.2);
+        g
+    }
+
+    fn inputs<'a>(
+        overlay: &'a DiGraph,
+        delays: &'a DistanceMatrix,
+        loads: &'a [f64],
+        cap: &'a DistanceMatrix,
+    ) -> RouteInputs<'a> {
+        RouteInputs {
+            overlay,
+            true_delays: delays,
+            node_load: loads,
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_on_saturated_link() {
+        let overlay = diamond();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        // The cheap path saturates: 10 Mbps links, 9.5 Mbps flow → the
+        // queuing estimate on 0→1 climbs every epoch.
+        let cap = DistanceMatrix::off_diagonal(4, 10.0);
+        let flows = [Flow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_mbps: 9.5,
+        }];
+        let inp = inputs(&overlay, &delays, &loads, &cap);
+        let run = |hysteresis: f64| {
+            let mut p = DelayAwarePolicy::new(
+                4,
+                DelayAwareConfig {
+                    hysteresis,
+                    ..Default::default()
+                },
+                RouterConfig::default(),
+            );
+            for e in 0..24 {
+                p.route_epoch(e, &flows, &inp);
+            }
+            p.route_changes_total
+        };
+        let with = run(0.25);
+        let without = run(0.0);
+        assert!(
+            with <= without,
+            "hysteresis must not flap more: {with} vs {without}"
+        );
+        assert!(with <= 2, "bounded route changes with hysteresis: {with}");
+    }
+
+    #[test]
+    fn broken_path_is_replaced_without_counting_as_flap() {
+        let mut overlay = diamond();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.0; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 100.0);
+        let flows = [Flow {
+            src: NodeId(0),
+            dst: NodeId(3),
+            rate_mbps: 1.0,
+        }];
+        let mut p = DelayAwarePolicy::new(4, DelayAwareConfig::default(), RouterConfig::default());
+        let out = p.route_epoch(0, &flows, &inputs(&overlay, &delays, &loads, &cap));
+        assert!(out.delivered_mbps > 0.0);
+        // Rewire: the committed 0→1→3 route disappears.
+        overlay.remove_edge(NodeId(0), NodeId(1));
+        let out = p.route_epoch(1, &flows, &inputs(&overlay, &delays, &loads, &cap));
+        assert!(out.delivered_mbps > 0.0, "must re-route via 0→2→3");
+        assert_eq!(out.route_changes, 0, "forced switch is not flapping");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let overlay = diamond();
+        let delays = DistanceMatrix::off_diagonal(4, 5.0);
+        let loads = [0.3; 4];
+        let cap = DistanceMatrix::off_diagonal(4, 12.0);
+        let flows = [
+            Flow {
+                src: NodeId(0),
+                dst: NodeId(3),
+                rate_mbps: 9.0,
+            },
+            Flow {
+                src: NodeId(1),
+                dst: NodeId(3),
+                rate_mbps: 4.0,
+            },
+        ];
+        let run = || {
+            let mut p =
+                DelayAwarePolicy::new(4, DelayAwareConfig::default(), RouterConfig::default());
+            let mut sig = Vec::new();
+            for e in 0..10 {
+                let out = p.route_epoch(e, &flows, &inputs(&overlay, &delays, &loads, &cap));
+                sig.push((
+                    out.delivered_mbps.to_bits(),
+                    out.flows[0].latency_ms.to_bits(),
+                    out.route_changes,
+                ));
+            }
+            sig
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,8 +1,14 @@
 //! Property tests for the data plane.
 
+use crate::backpressure::{BackpressureConfig, BackpressureEngine};
 use crate::capacity::CapacityLedger;
-use crate::demand::{DemandGenerator, WorkloadKind};
-use egoist_graph::{DistanceMatrix, NodeId};
+use crate::demand::{DemandGenerator, Flow, WorkloadKind};
+use crate::engine::{TrafficConfig, TrafficEngine};
+use crate::policy::DataPolicyKind;
+use crate::router::RouteInputs;
+use egoist_core::policies::PolicyKind;
+use egoist_core::sim::Metric;
+use egoist_graph::{DiGraph, DistanceMatrix, NodeId};
 use proptest::prelude::*;
 
 fn delays(n: usize) -> DistanceMatrix {
@@ -105,5 +111,76 @@ proptest! {
         prop_assert!((fwd[0] - admitted_total).abs() < 1e-9);
         prop_assert!((fwd[1] - admitted_total).abs() < 1e-9);
         prop_assert_eq!(fwd[2], 0.0);
+    }
+
+    /// Backpressure stability: under a strictly admissible load (link
+    /// capacity comfortably above the offered rate) total backlog must
+    /// settle to a bounded level instead of growing without bound, and
+    /// steady-state deliveries must approach the offered rate.
+    #[test]
+    fn backpressure_backlog_bounded_under_admissible_load(
+        n in 3usize..9,
+        rate in 1.0f64..20.0,
+        hops in 1usize..5,
+    ) {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1.0);
+        }
+        let d = delays(n);
+        let loads = vec![0.0; n];
+        let cap = DistanceMatrix::off_diagonal(n, rate * 2.0 + 10.0);
+        let inp = RouteInputs {
+            overlay: &g,
+            true_delays: &d,
+            node_load: &loads,
+            capacity: &cap,
+        };
+        let flows = [Flow {
+            src: NodeId(0),
+            dst: NodeId(hops.min(n - 1) as u32),
+            rate_mbps: rate,
+        }];
+        let mut bp = BackpressureEngine::new(n, BackpressureConfig::default(), 2.0);
+        let mut last = 0.0;
+        for _ in 0..10 {
+            last = bp.route_epoch(&flows, &inp).delivered_mbps;
+        }
+        let b1 = bp.total_backlog();
+        for _ in 0..10 {
+            last = bp.route_epoch(&flows, &inp).delivered_mbps;
+        }
+        let b2 = bp.total_backlog();
+        prop_assert!(last > rate * 0.7, "steady delivery {last} ≪ offered {rate}");
+        prop_assert!(
+            b2 < rate * (n as f64 + 4.0),
+            "backlog {b2} unbounded for rate {rate} on {n} nodes"
+        );
+        prop_assert!(
+            b2 < b1 + 0.2 * rate,
+            "backlog still growing after settling: {b1} → {b2}"
+        );
+    }
+
+    /// Policy determinism end to end: every data policy run through the
+    /// full closed-loop engine is a pure function of its configuration —
+    /// two same-seed runs serialize byte-identically.
+    #[test]
+    fn data_policies_are_pure_functions_of_seed(
+        n in 6usize..14,
+        seed in 0u64..64,
+        policy_idx in 0usize..3,
+        offered in 50.0f64..800.0,
+    ) {
+        let mut cfg = TrafficConfig::new(n, 3, PolicyKind::BestResponse, Metric::DelayPing, seed);
+        cfg.sim.epochs = 4;
+        cfg.sim.warmup_epochs = 1;
+        cfg.flows_per_epoch = 10;
+        cfg.offered_mbps = offered;
+        cfg.data_policy = DataPolicyKind::all()[policy_idx];
+        prop_assert_eq!(
+            TrafficEngine::run(&cfg).to_json(),
+            TrafficEngine::run(&cfg).to_json()
+        );
     }
 }

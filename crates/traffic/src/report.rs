@@ -24,6 +24,9 @@ pub struct EpochTraffic {
     pub mean_stretch: f64,
     pub rewirings: usize,
     pub alive: usize,
+    /// Committed-path switches this epoch (delay-aware data policy;
+    /// always 0 otherwise).
+    pub route_changes: usize,
     /// Latencies of every delivered flow (kept so the summary can take
     /// percentiles over flows, not over epoch aggregates).
     latencies_ms: Vec<f64>,
@@ -41,6 +44,8 @@ pub struct TrafficSummary {
     pub mean_stretch: f64,
     pub mean_rewirings: f64,
     pub flows_measured: usize,
+    /// Total route changes over steady epochs (flapping observable).
+    pub route_changes: usize,
 }
 
 /// The full report for one (policy, workload, seed) run.
@@ -52,6 +57,10 @@ pub struct TrafficReport {
     pub seed: u64,
     pub closed_loop: bool,
     pub warmup_epochs: usize,
+    /// Data-plane policy label when a non-default policy ran; `None`
+    /// keeps the serialized document byte-identical to the pre-policy
+    /// format (the perf fingerprints hash these bytes).
+    pub data_policy: Option<String>,
     pub epochs: Vec<EpochTraffic>,
     pub summary: TrafficSummary,
 }
@@ -70,6 +79,7 @@ impl TrafficReport {
             seed,
             closed_loop,
             warmup_epochs,
+            data_policy: None,
             epochs: Vec::new(),
             summary: TrafficSummary::default(),
         }
@@ -89,6 +99,7 @@ impl TrafficReport {
             mean_stretch: stats::mean(&stretches),
             rewirings: sample.rewirings,
             alive: sample.alive,
+            route_changes: outcome.route_changes,
             latencies_ms: latencies,
             stretches,
         });
@@ -112,6 +123,7 @@ impl TrafficReport {
             .flat_map(|e| e.stretches.iter().copied())
             .collect();
         let rewirings: Vec<f64> = self.steady().map(|e| e.rewirings as f64).collect();
+        let route_changes: usize = self.steady().map(|e| e.route_changes).sum();
         let offered_mean = stats::mean(&offered);
         let delivered_mean = stats::mean(&delivered);
         self.summary = TrafficSummary {
@@ -127,14 +139,18 @@ impl TrafficReport {
             mean_stretch: stats::mean(&all_stretch),
             mean_rewirings: stats::mean(&rewirings),
             flows_measured: all_lat.len(),
+            route_changes,
         };
     }
 
     /// Serialize the whole report (stable field order, deterministic
     /// float formatting — same run, byte-identical document).
     pub fn to_json(&self) -> String {
+        // A non-default data policy adds its fields; the default emits
+        // the exact legacy byte layout (perf fingerprints pin it).
+        let extended = self.data_policy.is_some();
         let epochs = array(self.epochs.iter().map(|e| {
-            JsonObject::new()
+            let mut o = JsonObject::new()
                 .u64("epoch", e.epoch as u64)
                 .f64("offered_mbps", e.offered_mbps)
                 .f64("delivered_mbps", e.delivered_mbps)
@@ -143,10 +159,13 @@ impl TrafficReport {
                 .f64("p99_latency_ms", e.p99_latency_ms)
                 .f64("mean_stretch", e.mean_stretch)
                 .u64("rewirings", e.rewirings as u64)
-                .u64("alive", e.alive as u64)
-                .finish()
+                .u64("alive", e.alive as u64);
+            if extended {
+                o = o.u64("route_changes", e.route_changes as u64);
+            }
+            o.finish()
         }));
-        let summary = JsonObject::new()
+        let mut summary = JsonObject::new()
             .f64("offered_mbps", self.summary.offered_mbps)
             .f64("delivered_mbps", self.summary.delivered_mbps)
             .f64("delivery_ratio", self.summary.delivery_ratio)
@@ -154,15 +173,20 @@ impl TrafficReport {
             .f64("p99_latency_ms", self.summary.p99_latency_ms)
             .f64("mean_stretch", self.summary.mean_stretch)
             .f64("mean_rewirings", self.summary.mean_rewirings)
-            .u64("flows_measured", self.summary.flows_measured as u64)
-            .finish();
-        JsonObject::new()
+            .u64("flows_measured", self.summary.flows_measured as u64);
+        if extended {
+            summary = summary.u64("route_changes", self.summary.route_changes as u64);
+        }
+        let mut top = JsonObject::new()
             .str("config", &self.config_label)
-            .str("workload", &self.workload)
-            .u64("seed", self.seed)
+            .str("workload", &self.workload);
+        if let Some(dp) = &self.data_policy {
+            top = top.str("data_policy", dp);
+        }
+        top.u64("seed", self.seed)
             .bool("closed_loop", self.closed_loop)
             .u64("warmup_epochs", self.warmup_epochs as u64)
-            .raw("summary", summary)
+            .raw("summary", summary.finish())
             .raw("epochs", epochs)
             .finish()
     }
@@ -197,6 +221,7 @@ mod tests {
             delivered_mbps: n,
             consumed: vec![0.0; 4],
             forwarded: vec![0.0; 2],
+            route_changes: 0,
         }
     }
 
@@ -234,6 +259,25 @@ mod tests {
         assert!(a.contains("\"summary\":{"));
         assert!(a.contains("\"epochs\":[{"));
         assert!(a.contains("\"closed_loop\":false"));
+    }
+
+    #[test]
+    fn data_policy_fields_only_appear_when_set() {
+        let mut legacy = TrafficReport::new("BR".into(), "uniform".into(), 1, true, 0);
+        legacy.record(&outcome(&[5.0]), &sample(0));
+        let legacy_json = legacy.to_json();
+        assert!(!legacy_json.contains("data_policy"));
+        assert!(!legacy_json.contains("route_changes"));
+
+        let mut ext = legacy.clone();
+        ext.data_policy = Some("delay-aware".to_string());
+        let ext_json = ext.to_json();
+        assert!(ext_json.contains("\"data_policy\":\"delay-aware\""));
+        assert!(ext_json.contains("\"route_changes\":0"));
+        // The legacy serialization is a strict byte-subsequence concern:
+        // removing the new fields must give back the old document.
+        ext.data_policy = None;
+        assert_eq!(ext.to_json(), legacy_json);
     }
 
     #[test]

@@ -16,20 +16,29 @@ use egoist_graph::{CsrGraph, DiGraph, DijkstraWorkspace, DistanceMatrix, NodeId}
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-/// Obs handles for the data plane, resolved lazily once. Everything
-/// recorded here is a simulated quantity (Mbps, simulated ms), so the
-/// exported values are deterministic per seed.
-struct TrafficObs {
-    route: egoist_obs::Timer,
-    flows_offered: egoist_obs::Counter,
-    flows_admitted: egoist_obs::Counter,
-    flows_dropped: egoist_obs::Counter,
-    latency_ms: egoist_obs::Histogram,
-    stretch: egoist_obs::Histogram,
-    link_utilization: egoist_obs::Histogram,
+/// Obs handles for the data plane, resolved lazily once and shared by
+/// every routing policy (shortest-path, backpressure, delay-aware) and
+/// the AIMD controller. Everything recorded here is a simulated
+/// quantity (Mbps, simulated ms), so the exported values are
+/// deterministic per seed. Registering the whole set on first resolve
+/// means any traffic run exports every instrument — including the
+/// queue/backlog/rate signals at zero when their policy is off — which
+/// is what `metrics_check`'s x-required-instruments gate expects.
+pub(crate) struct TrafficObs {
+    pub(crate) route: egoist_obs::Timer,
+    pub(crate) flows_offered: egoist_obs::Counter,
+    pub(crate) flows_admitted: egoist_obs::Counter,
+    pub(crate) flows_dropped: egoist_obs::Counter,
+    pub(crate) rate_increase: egoist_obs::Counter,
+    pub(crate) rate_decrease: egoist_obs::Counter,
+    pub(crate) latency_ms: egoist_obs::Histogram,
+    pub(crate) stretch: egoist_obs::Histogram,
+    pub(crate) link_utilization: egoist_obs::Histogram,
+    pub(crate) queue_depth: egoist_obs::Histogram,
+    pub(crate) backlog: egoist_obs::Histogram,
 }
 
-fn traffic_obs() -> &'static TrafficObs {
+pub(crate) fn traffic_obs() -> &'static TrafficObs {
     static OBS: OnceLock<TrafficObs> = OnceLock::new();
     OBS.get_or_init(|| {
         let r = egoist_obs::registry();
@@ -38,9 +47,13 @@ fn traffic_obs() -> &'static TrafficObs {
             flows_offered: r.counter("traffic.flows.offered"),
             flows_admitted: r.counter("traffic.flows.admitted"),
             flows_dropped: r.counter("traffic.flows.dropped"),
+            rate_increase: r.counter("traffic.rate.increase"),
+            rate_decrease: r.counter("traffic.rate.decrease"),
             latency_ms: r.histogram("traffic.flow_latency_ms"),
             stretch: r.histogram("traffic.flow_stretch"),
             link_utilization: r.histogram("traffic.link_utilization"),
+            queue_depth: r.histogram("traffic.queue.depth"),
+            backlog: r.histogram("traffic.backpressure.backlog"),
         }
     })
 }
@@ -92,6 +105,9 @@ pub struct RouteOutcome {
     pub consumed: Vec<f64>,
     /// Per-node transmitted traffic (Mbps) for load feedback.
     pub forwarded: Vec<f64>,
+    /// Committed-path switches this epoch (delay-aware policy only;
+    /// always 0 for the stateless path routers and backpressure).
+    pub route_changes: usize,
 }
 
 impl RouteOutcome {
@@ -136,15 +152,48 @@ pub struct RouteInputs<'a> {
     pub capacity: &'a DistanceMatrix,
 }
 
-/// The router.
-#[derive(Clone, Copy, Debug, Default)]
+/// FNV-1a fingerprint of the overlay's structure and weights. Cheap
+/// (one pass over the edge list) and order-sensitive, which is fine:
+/// `DiGraph` iteration order is itself deterministic.
+fn overlay_fingerprint(g: &DiGraph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    eat(&(g.len() as u64).to_le_bytes());
+    for (u, v, w) in g.edges() {
+        eat(&u.0.to_le_bytes());
+        eat(&v.0.to_le_bytes());
+        eat(&w.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Multipath disjoint path sets per (src, dst) pair.
+type PairPaths = HashMap<(u32, u32), Vec<Vec<NodeId>>>;
+
+/// The router. Holds the cross-epoch multipath cache, so it is stateful
+/// (one instance per engine run).
+#[derive(Clone, Debug, Default)]
 pub struct FlowRouter {
     pub cfg: RouterConfig,
+    /// Multipath disjoint path sets, keyed by `(epoch, overlay
+    /// fingerprint)`: a rewire or churn event changes the fingerprint
+    /// and a new epoch changes the key, so a stale path set can never
+    /// be served — the cache only survives *within* one epoch's calls
+    /// over one overlay.
+    mp_cache: Option<(u64, u64, PairPaths)>,
 }
 
 impl FlowRouter {
     pub fn new(cfg: RouterConfig) -> Self {
-        FlowRouter { cfg }
+        FlowRouter {
+            cfg,
+            mp_cache: None,
+        }
     }
 
     /// Realized latency of `path`: true propagation per hop plus load-
@@ -173,9 +222,13 @@ impl FlowRouter {
     /// per *distinct* source on a CSR copy of the overlay; multipath
     /// mode caches the edge-disjoint path set per `(src, dst)` pair
     /// (paths depend only on the overlay, not on ledger state, so the
-    /// cache cannot change admission results). Flows are still metered
-    /// into capacity strictly in their original order.
-    pub fn route(&self, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
+    /// cache cannot change admission results). The multipath cache is
+    /// keyed by `(epoch, overlay fingerprint)` and lives on the router,
+    /// so repeat calls within an epoch reuse it while any rewire or
+    /// churn event (new fingerprint) or epoch boundary discards it.
+    /// Flows are still metered into capacity strictly in their
+    /// original order.
+    pub fn route(&mut self, epoch: u64, flows: &[Flow], inp: &RouteInputs<'_>) -> RouteOutcome {
         let obs = traffic_obs();
         let _span = obs.route.start();
         let n = inp.overlay.len();
@@ -198,8 +251,17 @@ impl FlowRouter {
                 }
             }
         }
-        // Multipath: disjoint path sets per distinct pair.
-        let mut pair_paths: HashMap<(u32, u32), Vec<Vec<NodeId>>> = HashMap::new();
+        // Multipath: disjoint path sets per distinct pair, taken from
+        // the epoch-keyed cache when epoch and overlay both match.
+        let overlay_fp = if self.cfg.max_paths > 1 {
+            overlay_fingerprint(inp.overlay)
+        } else {
+            0
+        };
+        let mut pair_paths: PairPaths = match self.mp_cache.take() {
+            Some((e, fp, map)) if self.cfg.max_paths > 1 && e == epoch && fp == overlay_fp => map,
+            _ => HashMap::new(),
+        };
         let mut disabled = vec![false; csr.edge_count()];
 
         let mut routed = Vec::with_capacity(flows.len());
@@ -318,12 +380,17 @@ impl FlowRouter {
             }
         }
 
+        if self.cfg.max_paths > 1 {
+            self.mp_cache = Some((epoch, overlay_fp, pair_paths));
+        }
+
         RouteOutcome {
             flows: routed,
             offered_mbps: offered,
             delivered_mbps: delivered_total,
             consumed: ledger.consumed_matrix().to_vec(),
             forwarded: ledger.forwarded_per_node().to_vec(),
+            route_changes: 0,
         }
     }
 }
@@ -362,8 +429,9 @@ mod tests {
         let delays = DistanceMatrix::off_diagonal(4, 5.0);
         let loads = [0.0; 4];
         let cap = DistanceMatrix::off_diagonal(4, 1000.0);
-        let r = FlowRouter::default();
+        let mut r = FlowRouter::default();
         let out = r.route(
+            0,
             &[Flow {
                 src: NodeId(0),
                 dst: NodeId(3),
@@ -384,14 +452,17 @@ mod tests {
         let cap = DistanceMatrix::off_diagonal(4, 1000.0);
         let cool = [0.0, 0.0, 0.0, 0.0];
         let hot = [0.0, 20.0, 0.0, 0.0]; // relay v1 is slammed
-        let r = FlowRouter::default();
+        let mut r = FlowRouter::default();
         let f = [Flow {
             src: NodeId(0),
             dst: NodeId(3),
             rate_mbps: 1.0,
         }];
-        let lat_cool = r.route(&f, &inputs(&overlay, &delays, &cool, &cap)).flows[0].latency_ms;
-        let lat_hot = r.route(&f, &inputs(&overlay, &delays, &hot, &cap)).flows[0].latency_ms;
+        let lat_cool = r
+            .route(0, &f, &inputs(&overlay, &delays, &cool, &cap))
+            .flows[0]
+            .latency_ms;
+        let lat_hot = r.route(0, &f, &inputs(&overlay, &delays, &hot, &cap)).flows[0].latency_ms;
         assert!(
             lat_hot > lat_cool + 30.0,
             "20 load × 2 ms = 40 ms extra: {lat_cool} vs {lat_hot}"
@@ -404,8 +475,9 @@ mod tests {
         let delays = DistanceMatrix::off_diagonal(4, 5.0);
         let loads = [0.0; 4];
         let cap = DistanceMatrix::off_diagonal(4, 8.0);
-        let r = FlowRouter::default();
+        let mut r = FlowRouter::default();
         let out = r.route(
+            0,
             &[
                 Flow {
                     src: NodeId(0),
@@ -434,6 +506,7 @@ mod tests {
         let loads = [0.0; 3];
         let cap = DistanceMatrix::off_diagonal(3, 100.0);
         let out = FlowRouter::default().route(
+            0,
             &[Flow {
                 src: NodeId(0),
                 dst: NodeId(2),
@@ -462,18 +535,18 @@ mod tests {
             dst: NodeId(3),
             rate_mbps: 18.0,
         }];
-        let single = FlowRouter::new(RouterConfig {
+        let mut single = FlowRouter::new(RouterConfig {
             max_paths: 1,
             ..Default::default()
         });
-        let multi = FlowRouter::new(RouterConfig {
+        let mut multi = FlowRouter::new(RouterConfig {
             max_paths: 2,
             ..Default::default()
         });
         let inp = inputs(&overlay, &delays, &loads, &cap);
-        assert_eq!(single.route(&f, &inp).delivered_mbps, 10.0);
-        assert_eq!(multi.route(&f, &inp).delivered_mbps, 18.0);
-        let out = multi.route(&f, &inp);
+        assert_eq!(single.route(0, &f, &inp).delivered_mbps, 10.0);
+        assert_eq!(multi.route(0, &f, &inp).delivered_mbps, 18.0);
+        let out = multi.route(0, &f, &inp);
         assert_eq!(out.flows[0].paths_used, 2);
     }
 
@@ -484,6 +557,7 @@ mod tests {
         let loads = [0.0; 4];
         let cap = DistanceMatrix::off_diagonal(4, 100.0);
         let out = FlowRouter::default().route(
+            0,
             &[Flow {
                 src: NodeId(0),
                 dst: NodeId(3),

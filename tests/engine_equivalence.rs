@@ -155,6 +155,52 @@ fn other_policies_identical() {
 }
 
 #[test]
+fn traffic_aware_wiring_identical() {
+    // Without a demand feed the policy degenerates to plain BR, but the
+    // dispatch still goes through the TrafficAware arms of both engines.
+    assert_equivalent(cfg(
+        32,
+        4,
+        PolicyKind::TrafficAware { bias: 0.8 },
+        Metric::DelayPing,
+        43,
+    ));
+}
+
+#[test]
+fn traffic_aware_closed_loop_report_identical() {
+    // The real test: the traffic engine feeds an observed-demand EWMA
+    // into the simulator every epoch, so the demand-blended preferences
+    // actually differ from uniform — and both engine modes must consume
+    // them identically, under every data-plane policy.
+    use egoist::traffic::DataPolicyKind;
+    let mut base = TrafficConfig::new(
+        24,
+        3,
+        PolicyKind::TrafficAware { bias: 0.8 },
+        Metric::DelayPing,
+        47,
+    );
+    base.sim.epochs = 8;
+    base.sim.warmup_epochs = 3;
+    base.workload = WorkloadKind::Gravity { exponent: 1.2 };
+    base.flows_per_epoch = 30;
+    for data_policy in DataPolicyKind::all() {
+        let mut b = base.clone();
+        b.data_policy = data_policy;
+        let mut fast = b.clone();
+        fast.sim.engine = EngineMode::Epoch;
+        let mut oracle = b;
+        oracle.sim.engine = EngineMode::Recompute;
+        assert_eq!(
+            TrafficEngine::run(&fast).to_json(),
+            TrafficEngine::run(&oracle).to_json(),
+            "traffic-aware closed loop diverged under {data_policy:?}"
+        );
+    }
+}
+
+#[test]
 fn free_rider_runs_identical() {
     let mut c = cfg(32, 4, PolicyKind::BestResponse, Metric::DelayPing, 19);
     c.cheat = CheatConfig::first_n(4, 2.0);

@@ -71,6 +71,53 @@ fn traffic_induced_rewiring_changes_realized_p99() {
 }
 
 #[test]
+fn backpressure_outdelivers_shortest_path_at_saturation() {
+    // Past the single-path knee, differential-backlog forwarding finds
+    // the capacity that path-committed routing leaves on the table.
+    use egoist::traffic::DataPolicyKind;
+    let mk = |dp| {
+        let mut cfg = zipf32(PolicyKind::BestResponse, 21, true);
+        cfg.offered_mbps = 3000.0;
+        cfg.data_policy = dp;
+        TrafficEngine::run(&cfg).summary.delivered_mbps
+    };
+    let spf = mk(DataPolicyKind::ShortestPath);
+    let bp = mk(DataPolicyKind::Backpressure);
+    assert!(
+        bp > spf,
+        "backpressure must out-deliver spf at saturation: {bp:.1} vs {spf:.1} Mbps"
+    );
+}
+
+#[test]
+fn delay_aware_hysteresis_bounds_route_flapping() {
+    use egoist::traffic::DataPolicyKind;
+    let mk = |hysteresis: f64| {
+        let mut cfg = zipf32(PolicyKind::BestResponse, 27, true);
+        cfg.offered_mbps = 2000.0; // saturated: queue estimates swing
+        cfg.data_policy = DataPolicyKind::DelayAware;
+        cfg.delay_aware.hysteresis = hysteresis;
+        TrafficEngine::run(&cfg)
+    };
+    let with = mk(0.25);
+    let without = mk(0.0);
+    assert!(
+        with.summary.route_changes <= without.summary.route_changes,
+        "hysteresis must not flap more: {} vs {}",
+        with.summary.route_changes,
+        without.summary.route_changes
+    );
+    // Bounded in absolute terms too: well under one switch per pair per
+    // steady epoch (48 flows × 8 steady epochs = 384 opportunities).
+    assert!(
+        with.summary.route_changes < 100,
+        "route changes unbounded: {}",
+        with.summary.route_changes
+    );
+    assert!(with.summary.delivered_mbps > 0.0);
+}
+
+#[test]
 fn delivery_survives_churn() {
     use egoist::netsim::ChurnModel;
     let mut cfg = zipf32(PolicyKind::BestResponse, 5, true);
